@@ -1,0 +1,52 @@
+"""A1 — engine ablation: quadratic vs nonlinear global placement.
+
+DESIGN.md commits to the quadratic (SimPL-style) engine as the default
+for runtime reasons (repro band 3/5) while providing the NTUplace-style
+nonlinear engine — the paper authors' own family, with their
+weighted-average wirelength model — for fidelity.  This bench quantifies
+that choice on a small design where both engines are affordable:
+quality is comparable; the nonlinear engine costs noticeably more time
+per cell, which is why the full suite runs on the quadratic flow.
+"""
+
+from common import save_result
+
+from repro.core import BaselinePlacer, PlacerOptions
+from repro.eval import evaluate_placement, format_table
+from repro.gen import UnitSpec, compose_design
+
+
+def _make():
+    return compose_design("a1", [UnitSpec("ripple_adder", 8)],
+                          glue_cells=150, seed=21)
+
+
+def _run_a1() -> str:
+    rows = []
+    for engine, wl_model in (("quadratic", "-"), ("nonlinear", "wa"),
+                             ("nonlinear", "lse")):
+        design = _make()
+        options = PlacerOptions(engine=engine)
+        if engine == "nonlinear":
+            options.nonlinear.wirelength_model = wl_model
+            options.nonlinear.max_rounds = 6
+            options.nonlinear.cg.max_iterations = 40
+        outcome = BaselinePlacer(options).place(design.netlist,
+                                                design.region)
+        report = evaluate_placement(design.netlist, design.region)
+        rows.append({
+            "engine": engine,
+            "wl_model": wl_model,
+            "hpwl": round(outcome.hpwl_final, 0),
+            "steiner": round(report.steiner, 0),
+            "legal": outcome.legal,
+            "time_s": round(outcome.runtime_s, 2),
+        })
+    return format_table(rows, title="A1: engine ablation (8-bit adder "
+                                    "design, baseline flow)")
+
+
+def test_a1_engine_ablation(benchmark):
+    text = benchmark.pedantic(_run_a1, rounds=1, iterations=1)
+    save_result("a1_engines", text)
+    assert "nonlinear" in text

@@ -1,0 +1,38 @@
+"""F1 — Global-placement convergence curves.
+
+Emits the per-iteration series a convergence figure would plot: lower- and
+upper-bound HPWL and density overflow per GP iteration, for the baseline
+and structure-aware placers on the mid-size ALU design.  Reconstructed
+expectation: both runs show the classic SimPL funnel (bounds approach each
+other as the anchor weight ramps); the structure-aware run converges to a
+similar band with alignment forces active.
+"""
+
+from common import save_result
+
+from repro.core import BaselinePlacer, StructureAwarePlacer
+from repro.eval import format_series
+from repro.gen import build_design
+
+
+def _run_f1() -> str:
+    blocks = []
+    for label, cls in (("baseline", BaselinePlacer),
+                       ("structure-aware", StructureAwarePlacer)):
+        design = build_design("dp_alu16")
+        out = cls().place(design.netlist, design.region)
+        points = [{
+            "iter": h.iteration,
+            "hpwl_lower": round(h.hpwl_lower, 0),
+            "hpwl_upper": round(h.hpwl_upper, 0),
+            "overflow": round(h.overflow, 4),
+        } for h in out.gp_history]
+        blocks.append(format_series(
+            points, title=f"F1: GP convergence — {label} (dp_alu16)"))
+    return "\n\n".join(blocks)
+
+
+def test_f1_convergence(benchmark):
+    text = benchmark.pedantic(_run_f1, rounds=1, iterations=1)
+    save_result("f1_convergence", text)
+    assert "hpwl_upper" in text

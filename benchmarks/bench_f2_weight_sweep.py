@@ -1,0 +1,40 @@
+"""F2 — Alignment-weight (λ) sweep.
+
+Final HPWL and Steiner estimate vs the structure weight λ on the
+multiplier design.  λ = 0 disables the alignment forces entirely.
+Reconstructed expectation: a shallow U — small λ leaves structure
+unexploited, large λ over-constrains the solve; the useful range spans
+roughly one order of magnitude.
+"""
+
+from common import save_result
+
+from repro.core import PlacerOptions, StructureAwarePlacer
+from repro.eval import evaluate_placement, format_series
+from repro.gen import build_design
+
+_LAMBDAS = (0.0, 1.0, 3.0, 10.0)
+
+
+def _run_f2() -> str:
+    points = []
+    for lam in _LAMBDAS:
+        design = build_design("dp_mul16")
+        options = PlacerOptions(structure_weight=lam)
+        out = StructureAwarePlacer(options).place(design.netlist,
+                                                  design.region)
+        report = evaluate_placement(design.netlist, design.region)
+        points.append({
+            "lambda": lam,
+            "hpwl": round(out.hpwl_final, 0),
+            "steiner": round(report.steiner, 0),
+            "rudy_max": round(report.congestion.max, 3),
+        })
+    return format_series(points,
+                         title="F2: structure-weight sweep (dp_mul16)")
+
+
+def test_f2_weight_sweep(benchmark):
+    text = benchmark.pedantic(_run_f2, rounds=1, iterations=1)
+    save_result("f2_weight_sweep", text)
+    assert "lambda" in text

@@ -1,0 +1,58 @@
+"""F3 — Improvement vs datapath fraction (the crossover figure).
+
+Designs of a fixed size (~800 cells) with the datapath share swept from 0
+to 90% (ripple-adder units in random glue); both placers run end-to-end.
+Reconstructed expectation: at fraction 0 the two placers coincide (no
+arrays extracted, no regression on random logic); as the datapath share
+grows the structure-aware flow closes in on and then tracks/overtakes the
+baseline on the structural metrics, with HPWL staying within a few
+percent — the crossover where structure awareness starts to pay.
+"""
+
+from common import save_result
+
+from repro.core import BaselinePlacer, StructureAwarePlacer
+from repro.eval import evaluate_placement, format_series
+from repro.gen import datapath_fraction_design
+
+_FRACTIONS = (0.0, 0.25, 0.5, 0.75, 0.9)
+_CELLS = 800
+
+
+def _run_f3() -> str:
+    points = []
+    for frac in _FRACTIONS:
+        base_design = datapath_fraction_design(
+            f"f3_{frac}", _CELLS, frac, seed=5, unit_kind="ripple_adder")
+        base = BaselinePlacer().place(base_design.netlist,
+                                      base_design.region)
+        base_rep = evaluate_placement(base_design.netlist,
+                                      base_design.region)
+        struct_design = datapath_fraction_design(
+            f"f3_{frac}", _CELLS, frac, seed=5, unit_kind="ripple_adder")
+        struct = StructureAwarePlacer().place(struct_design.netlist,
+                                              struct_design.region)
+        struct_rep = evaluate_placement(struct_design.netlist,
+                                        struct_design.region)
+        hpwl_imp = (base.hpwl_final - struct.hpwl_final) \
+            / base.hpwl_final * 100.0
+        steiner_imp = (base_rep.steiner - struct_rep.steiner) \
+            / base_rep.steiner * 100.0
+        points.append({
+            "dp_fraction": frac,
+            "base_hpwl": round(base.hpwl_final, 0),
+            "struct_hpwl": round(struct.hpwl_final, 0),
+            "hpwl_imp_%": round(hpwl_imp, 2),
+            "steiner_imp_%": round(steiner_imp, 2),
+            "extracted_cells": (struct.extraction.num_cells
+                                if struct.extraction else 0),
+        })
+    return format_series(
+        points, title=f"F3: improvement vs datapath fraction "
+                      f"({_CELLS}-cell adder designs)")
+
+
+def test_f3_fraction_sweep(benchmark):
+    text = benchmark.pedantic(_run_f3, rounds=1, iterations=1)
+    save_result("f3_fraction_sweep", text)
+    assert "dp_fraction" in text

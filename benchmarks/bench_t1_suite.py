@@ -1,0 +1,30 @@
+"""T1 — Benchmark characteristics table.
+
+Regenerates the suite-statistics table: per design, cell/net/pin counts
+and the (ground-truth) datapath fraction.  Mirrors the benchmark table
+every placement paper opens its evaluation with.
+"""
+
+from common import T2_DESIGNS, save_result
+
+from repro.eval import format_table
+from repro.gen import build_design
+from repro.netlist import compute_stats
+
+
+def _build_table() -> str:
+    rows = []
+    for name in T2_DESIGNS:
+        design = build_design(name)
+        stats = compute_stats(design.netlist)
+        row = stats.row()
+        row["arrays"] = len(design.truth)
+        row["rows"] = design.region.num_rows
+        rows.append(row)
+    return format_table(rows, title="T1: benchmark characteristics")
+
+
+def test_t1_suite_table(benchmark):
+    text = benchmark.pedantic(_build_table, rounds=1, iterations=1)
+    save_result("t1_suite", text)
+    assert "dp_alu16" in text

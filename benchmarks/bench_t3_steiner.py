@@ -1,0 +1,39 @@
+"""T3 — Steiner wirelength and congestion comparison.
+
+Uses the same placements as T2 (cached) and reports the RMST-based
+Steiner estimate plus RUDY congestion (max and 95th percentile bin
+demand).  Reconstructed expectation: formation shortens multi-pin bus
+trees and flattens routing demand relative to HPWL-only placement.
+"""
+
+from common import T2_DESIGNS, placed, save_result
+
+from repro.eval import format_table
+
+
+def _run_t3() -> str:
+    rows = []
+    for name in T2_DESIGNS:
+        _bo, base_rep, _d1 = placed(name, "baseline")
+        _so, struct_rep, _d2 = placed(name, "structure")
+        st_imp = (base_rep.steiner - struct_rep.steiner) \
+            / base_rep.steiner * 100.0
+        rudy_imp = (base_rep.congestion.max - struct_rep.congestion.max) \
+            / max(base_rep.congestion.max, 1e-9) * 100.0
+        rows.append({
+            "design": name,
+            "base_steiner": round(base_rep.steiner, 0),
+            "struct_steiner": round(struct_rep.steiner, 0),
+            "steiner_imp_%": round(st_imp, 2),
+            "base_rudy": round(base_rep.congestion.max, 3),
+            "struct_rudy": round(struct_rep.congestion.max, 3),
+            "rudy_imp_%": round(rudy_imp, 2),
+        })
+    return format_table(
+        rows, title="T3: Steiner WL (RMST) and RUDY congestion")
+
+
+def test_t3_steiner_congestion(benchmark):
+    text = benchmark.pedantic(_run_t3, rounds=1, iterations=1)
+    save_result("t3_steiner", text)
+    assert "steiner_imp_%" in text

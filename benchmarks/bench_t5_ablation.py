@@ -1,0 +1,63 @@
+"""T5 — Ablation of the structure-aware components.
+
+On the multiplier-dominated design (the strongest structure case) and the
+mid-size ALU design, disable each component of the structure-aware flow in
+turn:
+
+- ``no-alignment``: λ = 0 (no alignment forces in GP);
+- ``no-slice-legal``: ordinary Abacus legalization instead of the
+  slice-preserving pass;
+- ``blocks+fusion``: the strict variant — rigid array macros in GP and
+  whole-array block snapping with mirror optimization;
+- ``full`` (default): elastic alignment + slice-preserving legalization.
+
+Reconstructed expectation: alignment forces carry most of the wirelength
+behaviour; slice legalization trades a little HPWL for guaranteed row
+formation; the strict block mode costs more HPWL (it buys the regular
+layout the paper targets for routability/timing, which HPWL alone does
+not reward).
+"""
+
+from common import save_result
+
+from repro.core import (BaselinePlacer, PlacerOptions, StructureAwarePlacer)
+from repro.eval import format_table
+from repro.gen import build_design
+
+_VARIANTS: list[tuple[str, dict]] = [
+    ("full (default)", {}),
+    ("no-alignment", {"structure_weight": 0.0}),
+    ("no-slice-legal", {"structure_legalization": "none"}),
+    ("blocks+fusion", {"use_fusion": True,
+                       "structure_legalization": "blocks"}),
+]
+
+
+def _run_t5() -> str:
+    rows = []
+    for design_name in ("dp_mul16", "dp_alu16"):
+        base_design = build_design(design_name)
+        base = BaselinePlacer().place(base_design.netlist,
+                                      base_design.region)
+        rows.append({"design": design_name, "variant": "baseline",
+                     "hpwl": round(base.hpwl_final, 0),
+                     "vs_baseline_%": 0.0,
+                     "legal": base.legal})
+        for label, overrides in _VARIANTS:
+            design = build_design(design_name)
+            options = PlacerOptions(**overrides)
+            out = StructureAwarePlacer(options).place(design.netlist,
+                                                      design.region)
+            delta = (base.hpwl_final - out.hpwl_final) \
+                / base.hpwl_final * 100.0
+            rows.append({"design": design_name, "variant": label,
+                         "hpwl": round(out.hpwl_final, 0),
+                         "vs_baseline_%": round(delta, 2),
+                         "legal": out.legal})
+    return format_table(rows, title="T5: component ablation")
+
+
+def test_t5_ablation(benchmark):
+    text = benchmark.pedantic(_run_t5, rounds=1, iterations=1)
+    save_result("t5_ablation", text)
+    assert "no-alignment" in text

@@ -1,0 +1,57 @@
+"""Shared infrastructure for the experiment benches.
+
+Every bench regenerates one table/figure of the reconstructed evaluation
+(see DESIGN.md section 5).  Results are printed and also written under
+``benchmarks/results/`` so EXPERIMENTS.md can cite stable artifacts.
+
+Placements are cached per (design, placer) within a pytest session so the
+T2/T3 benches do not pay for placement twice.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.core import BaselinePlacer, PlacerOptions, StructureAwarePlacer
+from repro.eval import evaluate_placement
+from repro.gen import build_design
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+_PLACEMENT_CACHE: dict[tuple[str, str], tuple] = {}
+
+
+def save_result(name: str, text: str) -> None:
+    """Print a result block and persist it under benchmarks/results/."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+    print(f"\n{text}")
+
+
+def placed(design_name: str, placer: str, *,
+           options: PlacerOptions | None = None):
+    """Place a suite design (cached) and return (outcome, report, design).
+
+    Args:
+        design_name: suite design name.
+        placer: ``"baseline"`` or ``"structure"``.
+        options: placer options; only uncached combinations may pass
+            custom options.
+    """
+    key = (design_name, placer)
+    if key in _PLACEMENT_CACHE and options is None:
+        return _PLACEMENT_CACHE[key]
+    design = build_design(design_name)
+    cls = BaselinePlacer if placer == "baseline" else StructureAwarePlacer
+    outcome = cls(options).place(design.netlist, design.region)
+    report = evaluate_placement(design.netlist, design.region)
+    value = (outcome, report, design)
+    if options is None:
+        _PLACEMENT_CACHE[key] = value
+    return value
+
+
+# Designs used by the heavier comparison benches: the full dac2012 suite
+# minus none — sizes are bounded enough for a pure-Python run.
+T2_DESIGNS = ("dp_add8", "dp_alu16", "dp_rf16", "dp_mul16", "dp_mix32",
+              "ctrl_glue2k")

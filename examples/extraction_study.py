@@ -1,0 +1,54 @@
+"""Extraction study: recover hidden structure from a flat netlist.
+
+Run::
+
+    python examples/extraction_study.py
+
+Builds a design mixing five datapath unit families in glue, strips all
+ground-truth labels (proving the extractor works from connectivity alone),
+runs extraction, and scores the result against the withheld truth.  Also
+prints one recovered array in slice-by-slice detail.
+"""
+
+from repro import (UnitSpec, compose_design, extract_datapaths,
+                   format_table, score_extraction)
+
+
+def main() -> None:
+    design = compose_design(
+        "study",
+        [UnitSpec("ripple_adder", 16),
+         UnitSpec("barrel_shifter", 16),
+         UnitSpec("array_multiplier", 8),
+         UnitSpec("register_file", 8, (("depth", 4),)),
+         UnitSpec("comparator", 16)],
+        glue_cells=500, seed=7)
+
+    # withhold the labels: the extractor sees connectivity + masters only
+    truth = design.truth
+    for cell in design.netlist.cells:
+        cell.attributes.clear()
+
+    result = extract_datapaths(design.netlist)
+    print(result.summary())
+
+    score = score_extraction("study", truth, result.cell_sets())
+    print()
+    print(format_table([score.row()], title="score vs withheld labels"))
+    print(f"pairwise precision {score.pair_precision:.3f}, "
+          f"recall {score.pair_recall:.3f}")
+
+    # show the largest array, slice by slice
+    biggest = max(result.arrays, key=lambda a: a.num_cells)
+    print(f"\nlargest recovered array: {biggest.name} "
+          f"({biggest.width} slices x depth {biggest.depth}, "
+          f"source={biggest.source})")
+    for b, slice_cells in enumerate(biggest.slices[:6]):
+        names = ", ".join(c.name for c in slice_cells)
+        print(f"  bit {b:2d}: {names}")
+    if biggest.width > 6:
+        print(f"  ... and {biggest.width - 6} more slices")
+
+
+if __name__ == "__main__":
+    main()

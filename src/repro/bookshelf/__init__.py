@@ -1,0 +1,14 @@
+"""ISPD Bookshelf (.aux/.nodes/.nets/.pl/.scl) reader and writer."""
+
+from .parse import BookshelfDesign, read_bookshelf
+from .write import write_bookshelf, write_nets, write_nodes, write_pl, write_scl
+
+__all__ = [
+    "BookshelfDesign",
+    "read_bookshelf",
+    "write_bookshelf",
+    "write_nets",
+    "write_nodes",
+    "write_pl",
+    "write_scl",
+]

@@ -1,0 +1,254 @@
+"""Bookshelf (ISPD contest) format reader.
+
+Reads the ``.aux`` manifest and the four component files written by
+:mod:`repro.bookshelf.write` (and, permissively, by other tools that follow
+the UCLA conventions).  Since Bookshelf files carry no cell-library
+information, each distinct (width, height, pin-offset-profile) becomes a
+synthesised :class:`~repro.netlist.library.CellType`; pin directions come
+from the ``I``/``O`` markers in the ``.nets`` file.
+"""
+
+from __future__ import annotations
+
+import os
+import re
+from dataclasses import dataclass
+from pathlib import Path
+
+from ..netlist import (CellType, Library, Netlist, PinDirection, PinSpec)
+from ..place.region import PlacementRegion, Row
+
+
+@dataclass
+class BookshelfDesign:
+    """The result of parsing a Bookshelf bundle."""
+
+    netlist: Netlist
+    region: PlacementRegion
+
+
+def _data_lines(path: Path) -> list[str]:
+    """Non-empty, non-comment lines of a Bookshelf file, header stripped."""
+    lines: list[str] = []
+    with open(path) as f:
+        for raw in f:
+            line = raw.split("#", 1)[0].strip()
+            if not line or line.startswith("UCLA"):
+                continue
+            lines.append(line)
+    return lines
+
+
+_NODE_RE = re.compile(
+    r"^(?P<name>\S+)\s+(?P<w>[-\d.eE+]+)\s+(?P<h>[-\d.eE+]+)"
+    r"(?:\s+(?P<term>terminal(?:_NI)?))?$")
+
+
+def _parse_nodes(path: Path) -> dict[str, tuple[float, float, bool]]:
+    """name -> (width, height, is_terminal)."""
+    out: dict[str, tuple[float, float, bool]] = {}
+    for line in _data_lines(path):
+        if line.startswith(("NumNodes", "NumTerminals")):
+            continue
+        m = _NODE_RE.match(line)
+        if not m:
+            raise ValueError(f"unparseable .nodes line: {line!r}")
+        out[m.group("name")] = (float(m.group("w")), float(m.group("h")),
+                                m.group("term") is not None)
+    return out
+
+
+@dataclass
+class _NetPin:
+    cell: str
+    direction: str  # "I", "O", or "B"
+    dx: float
+    dy: float
+
+
+def _parse_nets(path: Path) -> list[tuple[str, list[_NetPin]]]:
+    nets: list[tuple[str, list[_NetPin]]] = []
+    current: list[_NetPin] | None = None
+    auto_id = 0
+    for line in _data_lines(path):
+        if line.startswith(("NumNets", "NumPins")):
+            continue
+        if line.startswith("NetDegree"):
+            # "NetDegree : <deg> [name]"
+            parts = line.split(":", 1)[1].split()
+            name = parts[1] if len(parts) > 1 else f"net_{auto_id}"
+            auto_id += 1
+            current = []
+            nets.append((name, current))
+            continue
+        if current is None:
+            raise ValueError(f"pin line before any NetDegree: {line!r}")
+        # "<cell> <I|O|B> : <dx> <dy>"   (offsets optional)
+        head, _sep, tail = line.partition(":")
+        hparts = head.split()
+        cell = hparts[0]
+        direction = hparts[1] if len(hparts) > 1 else "B"
+        dx = dy = 0.0
+        tparts = tail.split()
+        if len(tparts) >= 2:
+            dx, dy = float(tparts[0]), float(tparts[1])
+        current.append(_NetPin(cell, direction, dx, dy))
+    return nets
+
+
+def _parse_pl(path: Path) -> dict[str, tuple[float, float, bool]]:
+    """name -> (x, y, fixed)."""
+    out: dict[str, tuple[float, float, bool]] = {}
+    for line in _data_lines(path):
+        head, _sep, tail = line.partition(":")
+        parts = head.split()
+        if len(parts) < 3:
+            continue
+        name, x, y = parts[0], float(parts[1]), float(parts[2])
+        fixed = "/FIXED" in tail
+        out[name] = (x, y, fixed)
+    return out
+
+
+def _parse_scl(path: Path) -> list[Row]:
+    rows: list[Row] = []
+    in_row = False
+    coord = height = site_w = origin = 0.0
+    num_sites = 0
+    for line in _data_lines(path):
+        if line.startswith("NumRows"):
+            continue
+        if line.startswith("CoreRow"):
+            in_row = True
+            coord = height = origin = 0.0
+            site_w = 1.0
+            num_sites = 0
+            continue
+        if not in_row:
+            continue
+        if line.startswith("End"):
+            rows.append(Row(index=len(rows), x=origin, y=coord,
+                            width=num_sites * site_w, height=height,
+                            site_width=site_w))
+            in_row = False
+            continue
+        key, _sep, value = line.partition(":")
+        key = key.strip().lower()
+        if key == "coordinate":
+            coord = float(value.split()[0])
+        elif key == "height":
+            height = float(value.split()[0])
+        elif key in ("sitewidth", "sitespacing"):
+            site_w = float(value.split()[0])
+        elif key == "subroworigin":
+            # "SubrowOrigin : <x> NumSites : <n>"
+            parts = value.split()
+            origin = float(parts[0])
+            if "NumSites" in parts:
+                num_sites = int(float(parts[parts.index("NumSites") + 2]))
+    return rows
+
+
+def _region_from_rows(rows: list[Row]) -> PlacementRegion:
+    if not rows:
+        raise ValueError(".scl file defined no rows")
+    x = min(r.x for r in rows)
+    y = min(r.y for r in rows)
+    x_end = max(r.x_end for r in rows)
+    y_top = max(r.y_top for r in rows)
+    row_height = rows[0].height
+    site_width = rows[0].site_width
+    region = PlacementRegion(x=x, y=y, width=x_end - x, height=y_top - y,
+                             row_height=row_height, site_width=site_width,
+                             rows=sorted(rows, key=lambda r: r.y))
+    return region
+
+
+def read_bookshelf(aux_path: str | os.PathLike) -> BookshelfDesign:
+    """Parse a Bookshelf bundle given its ``.aux`` manifest.
+
+    Returns:
+        A :class:`BookshelfDesign` with a reconstructed netlist (masters
+        synthesised from observed footprints and pin profiles) and the row
+        region from the ``.scl`` file.
+    """
+    aux_path = Path(aux_path)
+    directory = aux_path.parent
+    with open(aux_path) as f:
+        content = f.read()
+    files = content.split(":", 1)[1].split() if ":" in content else content.split()
+    by_ext = {Path(name).suffix: directory / name for name in files}
+    for ext in (".nodes", ".nets", ".pl", ".scl"):
+        if ext not in by_ext:
+            raise ValueError(f".aux manifest is missing a {ext} file")
+
+    nodes = _parse_nodes(by_ext[".nodes"])
+    raw_nets = _parse_nets(by_ext[".nets"])
+    placements = _parse_pl(by_ext[".pl"])
+    rows = _parse_scl(by_ext[".scl"])
+    region = _region_from_rows(rows)
+
+    # Collect the pin profile observed for each cell: pin key -> (dir, dx, dy).
+    # A pin key is its (direction, dx, dy) signature plus a disambiguator for
+    # repeated identical connections.
+    cell_pins: dict[str, dict[tuple[str, float, float], str]] = {}
+    net_pin_names: list[list[str]] = []
+    for _name, pins in raw_nets:
+        names_for_net: list[str] = []
+        for p in pins:
+            profile = cell_pins.setdefault(p.cell, {})
+            key = (p.direction, p.dx, p.dy)
+            if key not in profile:
+                prefix = {"I": "i", "O": "o"}.get(p.direction, "b")
+                profile[key] = f"{prefix}{len(profile)}"
+            names_for_net.append(profile[key])
+        net_pin_names.append(names_for_net)
+
+    # Synthesise one master per distinct (w, h, pin profile).
+    library = Library(name=f"bookshelf:{aux_path.stem}",
+                      site_width=region.site_width,
+                      row_height=region.row_height)
+    master_cache: dict[tuple, CellType] = {}
+
+    def master_for(name: str) -> CellType:
+        w, h, _term = nodes[name]
+        profile = cell_pins.get(name, {})
+        sig = (w, h, tuple(sorted((pn, d, dx, dy)
+                                  for (d, dx, dy), pn in profile.items())))
+        cached = master_cache.get(sig)
+        if cached is not None:
+            return cached
+        specs = []
+        for (d, dx, dy), pin_name in sorted(profile.items(),
+                                            key=lambda kv: kv[1]):
+            direction = {"I": PinDirection.INPUT,
+                         "O": PinDirection.OUTPUT}.get(d, PinDirection.INOUT)
+            # stored offsets are center-relative; model wants corner-relative
+            specs.append(PinSpec(pin_name, direction,
+                                 x_offset=dx + w / 2.0,
+                                 y_offset=dy + h / 2.0))
+        master = CellType(name=f"BS_{len(master_cache)}", width=w, height=h,
+                          pins=tuple(specs), tag="bookshelf")
+        master_cache[sig] = master
+        library.add(master)
+        return master
+
+    netlist = Netlist(name=aux_path.stem, library=library)
+    for name, (w, h, term) in nodes.items():
+        x, y, fixed_pl = placements.get(name, (0.0, 0.0, False))
+        netlist.add_cell(name, master_for(name), x=x, y=y,
+                         fixed=term or fixed_pl)
+
+    used_names: set[str] = set()
+    for (net_name, pins), pin_names in zip(raw_nets, net_pin_names):
+        unique = net_name
+        suffix = 1
+        while unique in used_names:
+            unique = f"{net_name}_{suffix}"
+            suffix += 1
+        used_names.add(unique)
+        net = netlist.add_net(unique)
+        for p, pin_name in zip(pins, pin_names):
+            netlist.connect(net, p.cell, pin_name)
+
+    return BookshelfDesign(netlist=netlist, region=region)

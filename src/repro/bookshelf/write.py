@@ -1,0 +1,115 @@
+"""Bookshelf (ISPD contest) format writer.
+
+Writes the classic five-file bundle::
+
+    <design>.aux     manifest
+    <design>.nodes   cell names + sizes (+ terminal flags)
+    <design>.nets    hyperedges with pin offsets
+    <design>.pl      placement (x, y, orientation, fixed markers)
+    <design>.scl     row structure
+
+The writer is round-trip compatible with :mod:`repro.bookshelf.parse`:
+``parse(write(netlist))`` reproduces names, sizes, connectivity, positions
+and fixed flags.  Pin offsets are written relative to the cell *center*,
+following the contest convention.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+from ..netlist import Netlist
+from ..place.region import PlacementRegion
+
+
+def _fmt(value: float) -> str:
+    """Format a coordinate compactly (integers without trailing .0)."""
+    if value == int(value):
+        return str(int(value))
+    return f"{value:.4f}"
+
+
+def write_nodes(netlist: Netlist, path: Path) -> None:
+    terminals = [c for c in netlist.cells if c.fixed]
+    with open(path, "w") as f:
+        f.write("UCLA nodes 1.0\n\n")
+        f.write(f"NumNodes : {netlist.num_cells}\n")
+        f.write(f"NumTerminals : {len(terminals)}\n")
+        for cell in netlist.cells:
+            term = " terminal" if cell.fixed else ""
+            f.write(f"   {cell.name} {_fmt(cell.width)} {_fmt(cell.height)}{term}\n")
+
+
+def write_nets(netlist: Netlist, path: Path) -> None:
+    num_pins = netlist.num_pins
+    with open(path, "w") as f:
+        f.write("UCLA nets 1.0\n\n")
+        f.write(f"NumNets : {netlist.num_nets}\n")
+        f.write(f"NumPins : {num_pins}\n")
+        for net in netlist.nets:
+            f.write(f"NetDegree : {net.degree} {net.name}\n")
+            for ref in net.pins:
+                direction = "O" if ref.is_driver else "I"
+                # offsets from cell center, contest convention
+                dx = ref.pin.x_offset - ref.cell.width / 2.0
+                dy = ref.pin.y_offset - ref.cell.height / 2.0
+                f.write(f"   {ref.cell.name} {direction} : "
+                        f"{_fmt(dx)} {_fmt(dy)}\n")
+
+
+def write_pl(netlist: Netlist, path: Path) -> None:
+    with open(path, "w") as f:
+        f.write("UCLA pl 1.0\n\n")
+        for cell in netlist.cells:
+            fixed = " /FIXED" if cell.fixed else ""
+            f.write(f"{cell.name} {_fmt(cell.x)} {_fmt(cell.y)} : N{fixed}\n")
+
+
+def write_scl(region: PlacementRegion, path: Path) -> None:
+    with open(path, "w") as f:
+        f.write("UCLA scl 1.0\n\n")
+        f.write(f"NumRows : {region.num_rows}\n")
+        for row in region.rows:
+            f.write("CoreRow Horizontal\n")
+            f.write(f"  Coordinate : {_fmt(row.y)}\n")
+            f.write(f"  Height : {_fmt(row.height)}\n")
+            f.write(f"  Sitewidth : {_fmt(row.site_width)}\n")
+            f.write("  Sitespacing : " + _fmt(row.site_width) + "\n")
+            f.write("  Siteorient : N\n")
+            f.write("  Sitesymmetry : Y\n")
+            f.write(f"  SubrowOrigin : {_fmt(row.x)} "
+                    f"NumSites : {row.num_sites}\n")
+            f.write("End\n")
+
+
+def write_bookshelf(netlist: Netlist, region: PlacementRegion,
+                    directory: str | os.PathLike, design: str | None = None
+                    ) -> Path:
+    """Write the full five-file Bookshelf bundle.
+
+    Args:
+        netlist: design to write.
+        region: row structure for the ``.scl`` file.
+        directory: output directory (created if missing).
+        design: base file name; defaults to ``netlist.name``.
+
+    Returns:
+        Path to the ``.aux`` manifest.
+    """
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    design = design or netlist.name
+    nodes = directory / f"{design}.nodes"
+    nets = directory / f"{design}.nets"
+    pl = directory / f"{design}.pl"
+    scl = directory / f"{design}.scl"
+    aux = directory / f"{design}.aux"
+    write_nodes(netlist, nodes)
+    write_nets(netlist, nets)
+    write_pl(netlist, pl)
+    write_scl(region, scl)
+    with open(aux, "w") as f:
+        f.write(f"RowBasedPlacement : {nodes.name} {nets.name} "
+                f"{pl.name} {scl.name}\n")
+    return aux

@@ -1,0 +1,138 @@
+"""Command-line interface.
+
+Subcommands::
+
+    repro-place gen      --design dp_alu16 --out DIR      # emit Bookshelf
+    repro-place extract  --design dp_alu16                # extraction report
+    repro-place place    --design dp_alu16 --placer both  # run placers
+    repro-place eval     --aux design.aux                 # evaluate a bundle
+    repro-place suite                                     # list suite designs
+
+Designs come from the named benchmark suites (see
+:mod:`repro.gen.suites`); ``--aux`` accepts any Bookshelf bundle.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .bookshelf import read_bookshelf, write_bookshelf
+from .core import BaselinePlacer, PlacerOptions, StructureAwarePlacer, \
+    extract_datapaths
+from .eval import evaluate_placement, format_table, score_extraction
+from .gen import build_design, design_names, suite_names
+from .netlist import compute_stats
+
+
+def _load(args: argparse.Namespace):
+    """Resolve --design / --aux into (netlist, region, truth-or-None)."""
+    if getattr(args, "aux", None):
+        design = read_bookshelf(args.aux)
+        return design.netlist, design.region, None
+    generated = build_design(args.design)
+    return generated.netlist, generated.region, generated.truth
+
+
+def _cmd_suite(_args: argparse.Namespace) -> int:
+    for suite_name in suite_names():
+        print(f"{suite_name}: {', '.join(design_names(suite_name))}")
+    return 0
+
+
+def _cmd_gen(args: argparse.Namespace) -> int:
+    netlist, region, _truth = _load(args)
+    aux = write_bookshelf(netlist, region, args.out)
+    stats = compute_stats(netlist)
+    print(format_table([stats.row()], title="generated design"))
+    print(f"wrote {aux}")
+    return 0
+
+
+def _cmd_extract(args: argparse.Namespace) -> int:
+    netlist, _region, truth = _load(args)
+    result = extract_datapaths(netlist)
+    print(result.summary())
+    if truth:
+        score = score_extraction(netlist.name, truth, result.cell_sets())
+        print(format_table([score.row()], title="vs ground truth"))
+    return 0
+
+
+def _cmd_place(args: argparse.Namespace) -> int:
+    rows = []
+    placers = {
+        "baseline": [BaselinePlacer],
+        "structure": [StructureAwarePlacer],
+        "both": [BaselinePlacer, StructureAwarePlacer],
+    }[args.placer]
+    for placer_cls in placers:
+        netlist, region, _truth = _load(args)
+        options = PlacerOptions(structure_weight=args.structure_weight)
+        outcome = placer_cls(options).place(netlist, region)
+        row = outcome.row()
+        report = evaluate_placement(netlist, region)
+        row["steiner"] = round(report.steiner, 1)
+        row["rudy_max"] = round(report.congestion.max, 3)
+        rows.append(row)
+        if args.out:
+            write_bookshelf(netlist, region, args.out,
+                            design=f"{netlist.name}_{outcome.placer}")
+    print(format_table(rows, title="placement results"))
+    return 0
+
+
+def _cmd_eval(args: argparse.Namespace) -> int:
+    netlist, region, _truth = _load(args)
+    report = evaluate_placement(netlist, region)
+    print(format_table([report.row()], title="placement quality"))
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-place",
+        description="Structure-aware placement reproduction toolkit")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("suite", help="list benchmark designs")
+
+    def add_design_args(p: argparse.ArgumentParser,
+                        with_aux: bool = True) -> None:
+        p.add_argument("--design", default="dp_alu16",
+                       help="named suite design")
+        if with_aux:
+            p.add_argument("--aux", default=None,
+                           help="Bookshelf .aux bundle instead of --design")
+
+    p_gen = sub.add_parser("gen", help="emit a design as Bookshelf files")
+    add_design_args(p_gen, with_aux=False)
+    p_gen.add_argument("--out", required=True, help="output directory")
+
+    p_ext = sub.add_parser("extract", help="run datapath extraction")
+    add_design_args(p_ext)
+
+    p_place = sub.add_parser("place", help="run placement")
+    add_design_args(p_place)
+    p_place.add_argument("--placer", default="both",
+                         choices=["baseline", "structure", "both"])
+    p_place.add_argument("--structure-weight", type=float, default=1.0)
+    p_place.add_argument("--out", default=None,
+                         help="write placed Bookshelf bundles here")
+
+    p_eval = sub.add_parser("eval", help="evaluate current placement")
+    add_design_args(p_eval)
+
+    args = parser.parse_args(argv)
+    handlers = {
+        "suite": _cmd_suite,
+        "gen": _cmd_gen,
+        "extract": _cmd_extract,
+        "place": _cmd_place,
+        "eval": _cmd_eval,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,762 @@
+"""Datapath array formation: grouping, ordering, and aligning slices.
+
+Two complementary constructors, run in sequence by the extraction pipeline:
+
+1. :func:`arrays_from_slices` — groups the isomorphic candidate slices of
+   :mod:`repro.core.slices` into arrays.  Slices of one array are tied
+   together by *inter-slice evidence*: chain-bundle edges (carry chains)
+   and shared control columns.  Isomorphic slices with no such evidence at
+   all (fully independent bit lanes, e.g. a simple pipeline) are merged
+   into one array when there are enough of them and the slices are
+   substantial — independent parallel isomorphic logic is datapath even
+   without cross-bit wiring.
+2. :func:`arrays_from_columns` — for structures whose intra-slice wiring is
+   *chain-shaped* and therefore invisible to matching bundles (e.g. a
+   barrel shifter's mux-to-mux stages), grows arrays column-by-column from
+   control columns, following per-bit unanimous edges to adjacent stages.
+
+Both produce :class:`ExtractedArray` — slice-major cell grids in stage
+order — the exact structure the structure-aware placer consumes.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+
+from collections import Counter
+
+from ..netlist import Cell, Netlist
+from .bundles import BundleLabel, ControlColumn, EdgeBundle
+from .slices import Slice, _UnionFind
+
+
+@dataclass
+class ExtractedArray:
+    """A recovered datapath array.
+
+    Attributes:
+        name: extractor-assigned identifier.
+        slices: slice-major grid; ``slices[b]`` is bit b's cells in stage
+            order.  Rows may be ragged.
+        source: ``"slices"`` or ``"columns"`` (which constructor found it).
+        coupled: True when inter-slice evidence (chains, shared control)
+            ties the bits together; False for arrays merged purely from
+            isomorphism of independent lanes.  The planner stacks coupled
+            arrays into blocks but lets uncoupled lanes place freely.
+    """
+
+    name: str
+    slices: list[list[Cell]]
+    source: str = "slices"
+    coupled: bool = True
+
+    @property
+    def width(self) -> int:
+        return len(self.slices)
+
+    @property
+    def depth(self) -> int:
+        return max((len(s) for s in self.slices), default=0)
+
+    @property
+    def num_cells(self) -> int:
+        return sum(len(s) for s in self.slices)
+
+    def cells(self) -> list[Cell]:
+        return [c for s in self.slices for c in s]
+
+    def cell_names(self) -> set[str]:
+        return {c.name for s in self.slices for c in s}
+
+    def __repr__(self) -> str:
+        return (f"ExtractedArray({self.name!r}, width={self.width},"
+                f" depth={self.depth}, cells={self.num_cells},"
+                f" source={self.source})")
+
+
+def _order_slices_by_chains(
+        slice_ids: list[int],
+        order_edges: dict[tuple[int, int], int],
+        votes_by_label: dict[tuple, dict[tuple[int, int], int]] | None = None,
+        ) -> list[int]:
+    """Linearise slices using directed chain evidence.
+
+    When per-label votes are available, the *dominant* chain label (most
+    votes — in an adder group, the carry) is decomposed into simple paths
+    first and each path is kept contiguous in the output: several carry
+    chains bridged by bus wiring then order as whole units (adder A bits
+    0..15, then adder B bits 0..15) instead of interleaving by rank.
+    Remaining slices are rank-ordered by the full vote set.
+    """
+    if votes_by_label:
+        best_label = max(votes_by_label,
+                         key=lambda lab: (sum(votes_by_label[lab].values()),
+                                          lab))
+        best_votes = votes_by_label[best_label]
+        ids_set = set(slice_ids)
+        succ: dict[int, int] = {}
+        pred: dict[int, int] = {}
+        multi: set[int] = set()
+        for (a, b), _n in sorted(best_votes.items(),
+                                 key=lambda kv: -kv[1]):
+            if a not in ids_set or b not in ids_set or a == b:
+                continue
+            if a in succ or a in multi:
+                multi.add(a)
+                succ.pop(a, None)
+                continue
+            if b in pred or b in multi:
+                multi.add(b)
+                pred.pop(b, None)
+                continue
+            succ[a] = b
+            pred[b] = a
+        chains: list[list[int]] = []
+        used: set[int] = set()
+        for s in slice_ids:
+            if s in used or s in pred:
+                continue
+            chain = [s]
+            used.add(s)
+            cur = s
+            while cur in succ and succ[cur] not in used:
+                cur = succ[cur]
+                chain.append(cur)
+                used.add(cur)
+            if len(chain) >= 2:
+                chains.append(chain)
+            else:
+                used.discard(s)
+                chain.clear()
+        if chains:
+            # order whole chains by cross-chain vote flow, then append
+            chain_of = {s: ci for ci, ch in enumerate(chains) for s in ch}
+            flow: dict[int, int] = defaultdict(int)
+            for (a, b), n in order_edges.items():
+                ca, cb = chain_of.get(a), chain_of.get(b)
+                if ca is not None and cb is not None and ca != cb:
+                    flow[ca] -= n
+                    flow[cb] += n
+            chain_order = sorted(range(len(chains)),
+                                 key=lambda ci: (flow[ci], ci))
+            ordered = [s for ci in chain_order for s in chains[ci]]
+            rest = [s for s in slice_ids if s not in chain_of]
+            if rest:
+                rest = _order_slices_by_chains(rest, order_edges)
+            return ordered + rest
+    ids = set(slice_ids)
+    succ: dict[int, set[int]] = defaultdict(set)
+    pred_count: dict[int, int] = defaultdict(int)
+    seen_pairs: set[tuple[int, int]] = set()
+    for (a, b), votes in sorted(order_edges.items(),
+                                key=lambda kv: -kv[1]):
+        if a not in ids or b not in ids:
+            continue
+        if (b, a) in seen_pairs:  # majority direction already kept
+            continue
+        seen_pairs.add((a, b))
+        if b not in succ[a]:
+            succ[a].add(b)
+            pred_count[b] += 1
+
+    rank: dict[int, int] = {}
+    queue = sorted(s for s in slice_ids if pred_count[s] == 0)
+    remaining = dict(pred_count)
+    depth = {s: 0 for s in slice_ids}
+    while queue:
+        s = queue.pop(0)
+        rank[s] = depth[s]
+        for t in sorted(succ[s]):
+            depth[t] = max(depth[t], depth[s] + 1)
+            remaining[t] -= 1
+            if remaining[t] == 0:
+                queue.append(t)
+    # cycle leftovers keep input order at the end
+    ordered = sorted((s for s in slice_ids if s in rank),
+                     key=lambda s: (rank[s], slice_ids.index(s)))
+    ordered += [s for s in slice_ids if s not in rank]
+    return ordered
+
+
+def _cluster_by_spine(slices: list[Slice], *, min_width: int,
+                      overlap_frac: float = 0.6) -> dict[int, list[Slice]]:
+    """Cluster slices by similarity of their internal edge-label multisets.
+
+    The *spine* of a slice is the multiset of its internal edge labels.
+    Exact form equality is too brittle — one bit whose input register is
+    fed by a qualifying glue bundle gains an extra edge and one or two
+    perturbed cells — so slices are clustered greedily: a slice joins the
+    first cluster whose reference spine it overlaps by at least
+    ``overlap_frac`` of the *larger* spine (near-identical only).
+    Reference spines come from the largest slices, which are the least
+    likely to be truncated.
+    """
+    label_hist: Counter = Counter()
+    for s in slices:
+        label_hist.update(s.edge_labels)
+    core_forms = {f for f, n in label_hist.items() if n >= min_width}
+
+    spines: list[Counter] = []
+    for s in slices:
+        spines.append(Counter(f for f in s.edge_labels if f in core_forms))
+
+    # Mode-seeded clustering: the reference spine is the most frequent
+    # exact spine among unassigned slices (clean interior bits dominate;
+    # pollution is diverse, so polluted variants rarely form the mode).  A
+    # slice joins if it COVERS most of the reference — extra labels from
+    # absorbed glue are fine, the majority-trim removes those cells later.
+    unassigned = set(range(len(slices)))
+    clusters: dict[int, list[Slice]] = {}
+    while True:
+        spine_hist: Counter = Counter()
+        for i in unassigned:
+            if spines[i]:
+                spine_hist[tuple(sorted(spines[i].elements()))] += 1
+        if not spine_hist:
+            break
+        ref_key, _n = max(spine_hist.items(),
+                          key=lambda kv: (kv[1], len(kv[0]), kv[0]))
+        ref = Counter(ref_key)
+        ref_total = sum(ref.values())
+        members: list[int] = []
+        for i in sorted(unassigned):
+            inter = sum((spines[i] & ref).values())
+            if inter >= max(1, overlap_frac * ref_total):
+                members.append(i)
+        if not members:
+            break
+        ci = len(clusters)
+        clusters[ci] = [slices[i] for i in members]
+        unassigned -= set(members)
+    return clusters
+
+
+def _tight_members(members: list[Slice], *, frac: float = 0.6,
+                   majority: float = 0.5) -> list[Slice]:
+    """Members whose *majority-projected* spine nearly equals the mode.
+
+    Each member's edge-label multiset is first projected onto the labels
+    that a majority of members share (discarding per-bit glue pollution);
+    a member is kept when its projected spine matches the most common
+    projected spine symmetrically (intersection >= ``frac`` of the larger
+    side).  True parallel bit lanes agree after projection; random glue
+    fragments do not.
+    """
+    width = len(members)
+    label_presence: Counter = Counter()
+    for m in members:
+        label_presence.update(set(m.edge_labels))
+    frequent = {lab for lab, n in label_presence.items()
+                if n >= majority * width}
+
+    projected: list[Counter] = []
+    for m in members:
+        projected.append(Counter(lab for lab in m.edge_labels
+                                 if lab in frequent))
+    spine_hist: Counter = Counter()
+    for p in projected:
+        spine_hist[tuple(sorted(p.elements()))] += 1
+    if not spine_hist:
+        return []
+    ref_key, _n = max(spine_hist.items(),
+                      key=lambda kv: (kv[1], len(kv[0]), kv[0]))
+    ref = Counter(ref_key)
+    ref_total = sum(ref.values())
+    if ref_total == 0:
+        return []
+    out: list[Slice] = []
+    for m, own in zip(members, projected):
+        inter = sum((own & ref).values())
+        if inter >= frac * max(sum(own.values()), ref_total):
+            out.append(m)
+    return out
+
+
+def _refit_rejected(rejected: list[Slice], accepted: list[Slice], *,
+                    frac: float = 0.6) -> list[list[Cell]]:
+    """Split rejected (fused) members into lanes matching the accepted mode.
+
+    A member that failed the tightness test often contains *several* bit
+    lanes shorted together by glue-level edges.  Keeping only the edges
+    whose labels the accepted members share, re-splitting into connected
+    components, and keeping components that match the accepted spine
+    recovers those lanes.
+    """
+    if not accepted or not rejected:
+        return []
+    from .slices import _canonical_order
+
+    label_presence: Counter = Counter()
+    for m in accepted:
+        label_presence.update(set(m.edge_labels))
+    frequent = {lab for lab, n in label_presence.items()
+                if n >= 0.5 * len(accepted)}
+    spine_hist: Counter = Counter()
+    for m in accepted:
+        spine_hist[tuple(sorted(lab for lab in m.edge_labels
+                                if lab in frequent))] += 1
+    ref_key, _n = max(spine_hist.items(),
+                      key=lambda kv: (kv[1], len(kv[0]), kv[0]))
+    ref = Counter(ref_key)
+    ref_total = sum(ref.values())
+    if ref_total == 0:
+        return []
+
+    out: list[list[Cell]] = []
+    for m in rejected:
+        kept = [(u, v, lab) for u, v, lab in m.edges if lab in frequent]
+        if not kept:
+            continue
+        uf = _UnionFind()
+        for u, v, _lab in kept:
+            uf.union(id(u), id(v))
+        comp_cells: dict[int, list[Cell]] = defaultdict(list)
+        for c in m.cells:
+            if id(c) in uf.parent:
+                comp_cells[uf.find(id(c))].append(c)
+        comp_edges: dict[int, list[tuple]] = defaultdict(list)
+        for u, v, lab in kept:
+            comp_edges[uf.find(id(u))].append((u, v, lab))
+        for root, group in comp_cells.items():
+            spine = Counter(lab for _u, _v, lab in comp_edges[root])
+            inter = sum((spine & ref).values())
+            if inter >= frac * max(sum(spine.values()), ref_total):
+                out.append(_canonical_order(group, comp_edges[root]))
+    return out
+
+
+def _trimmed_cells(members: list[Slice], *,
+                   majority: float = 0.5) -> list[list[Cell]]:
+    """Trim each member slice to the cluster's majority structure.
+
+    An edge label is *frequent* if at least ``majority`` of the member
+    slices contain it; cells with no incident frequent edge (glue drivers
+    dragged in by a qualifying bundle) are dropped.  Returns the trimmed
+    cell lists in member order, preserving canonical cell order.
+    """
+    width = len(members)
+    label_count: Counter = Counter()
+    for s in members:
+        label_count.update(set(s.edge_labels))
+    frequent = {lab for lab, n in label_count.items()
+                if n >= majority * width}
+    out: list[list[Cell]] = []
+    for s in members:
+        kept: list[Cell] = []
+        for cell, (_type, incident) in zip(s.cells, s.stage_forms):
+            labels = {entry[1:] for entry in incident}
+            if labels & frequent:
+                kept.append(cell)
+        out.append(kept if kept else list(s.cells))
+    return out
+
+
+def arrays_from_slices(slices: list[Slice],
+                       bundles: dict[BundleLabel, EdgeBundle],
+                       columns: list[ControlColumn], *,
+                       min_width: int = 4,
+                       unconnected_min_width: int = 8,
+                       unconnected_min_size: int = 3,
+                       thin_min_width: int = 16,
+                       name_prefix: str = "arr") -> list[ExtractedArray]:
+    """Group candidate slices into arrays.
+
+    Args:
+        slices: candidate slices (canonically ordered).
+        bundles: all qualifying bundles; the chain ones provide inter-slice
+            order.
+        columns: control columns providing inter-slice grouping.
+        min_width: minimum slices per connected array.
+        unconnected_min_width: minimum group size for merging fully
+            independent isomorphic slices.
+        unconnected_min_size: minimum slice length for the independent
+            merge (guards against repeated 2-gate glue motifs).
+        thin_min_width: arrays of very shallow slices (depth <= 2) need at
+            least this many slices — a 2-cell motif must be repeated
+            overwhelmingly (a multiplier's AND+FA grid) before it counts
+            as datapath, else common glue idioms qualify.
+        name_prefix: extracted array name prefix.
+    """
+    slice_of: dict[int, int] = {}
+    for si, s in enumerate(slices):
+        for cell in s.cells:
+            slice_of[id(cell)] = si
+
+    groups = _cluster_by_spine(slices, min_width=min_width)
+    arrays: list[ExtractedArray] = []
+    counter = 0
+
+    # Pre-index inter-slice evidence once (with bundle labels, so slice
+    # ordering can keep the dominant chain's runs contiguous).
+    chain_edges: list[tuple[tuple, int, int]] = []
+    for bundle in bundles.values():
+        if not bundle.is_chain:
+            continue
+        for u, v in bundle.edges:
+            su, sv = slice_of.get(id(u)), slice_of.get(id(v))
+            if su is not None and sv is not None and su != sv:
+                chain_edges.append((bundle.label, su, sv))
+    column_links: list[list[int]] = []
+    for col in columns:
+        touched = sorted({slice_of[id(c)] for c in col.cells
+                          if id(c) in slice_of})
+        if len(touched) >= 2:
+            column_links.append(touched)
+
+    index_of = {id(s): si for si, s in enumerate(slices)}
+    for form, members in groups.items():
+        member_ids = [index_of[id(m)] for m in members]
+        member_set = set(member_ids)
+        uf = _UnionFind()
+        order_votes: dict[tuple[int, int], int] = defaultdict(int)
+        votes_by_label: dict[tuple, dict[tuple[int, int], int]] = \
+            defaultdict(lambda: defaultdict(int))
+        evidence_pairs: set[tuple[int, int]] = set()
+        for label, su, sv in chain_edges:
+            if su in member_set and sv in member_set:
+                uf.union(su, sv)
+                order_votes[(su, sv)] += 1
+                votes_by_label[label][(su, sv)] += 1
+                evidence_pairs.add((min(su, sv), max(su, sv)))
+        for touched in column_links:
+            inside = [s for s in touched if s in member_set]
+            for a, b in zip(inside, inside[1:]):
+                uf.union(a, b)
+                evidence_pairs.add((min(a, b), max(a, b)))
+
+        # Evidence strength separates genuinely coupled arrays (carry
+        # chains touch nearly every adjacent bit pair) from accidental
+        # couplings (two bit lanes of an otherwise independent pipeline
+        # that happen to be wired end-to-end).  Weak evidence must not
+        # partition the group.
+        strength = len(evidence_pairs) / max(len(members) - 1, 1)
+
+        def emit(ids: list[int], min_count: int,
+                 coupled: bool = True) -> None:
+            """Tighten, refit fused leftovers, trim, and append one array."""
+            nonlocal counter
+            tight = _tight_members([slices[si] for si in ids])
+            tight_ids = {id(t) for t in tight}
+            kept_ids = [si for si in ids if id(slices[si]) in tight_ids]
+            rejected = [slices[si] for si in ids
+                        if id(slices[si]) not in tight_ids]
+            refit = _refit_rejected(rejected, tight)
+            if len(kept_ids) + len(refit) < min_count:
+                return
+            cells = _trimmed_cells([slices[si] for si in kept_ids]) + refit
+            depth = max(len(s) for s in cells)
+            if depth <= 2 and len(cells) < thin_min_width:
+                return
+            arrays.append(ExtractedArray(
+                name=f"{name_prefix}{counter}", slices=cells,
+                source="slices", coupled=coupled))
+            counter += 1
+
+        if strength >= 0.5:
+            comps: dict[int, list[int]] = defaultdict(list)
+            for si in member_ids:
+                comps[uf.find(si)].append(si)
+            leftovers: list[int] = []
+            for comp in comps.values():
+                if len(comp) >= min_width:
+                    comp_votes = {
+                        lab: {pair: n for pair, n in votes.items()
+                              if pair[0] in comp and pair[1] in comp}
+                        for lab, votes in votes_by_label.items()}
+                    comp_votes = {lab: v for lab, v in comp_votes.items()
+                                  if v}
+                    emit(_order_slices_by_chains(comp, order_votes,
+                                                 comp_votes), min_width)
+                else:
+                    leftovers.extend(comp)
+            size = max((len(slices[si].cells) for si in leftovers),
+                       default=0)
+            if (len(leftovers) >= unconnected_min_width
+                    and size >= unconnected_min_size):
+                emit(sorted(leftovers,
+                            key=lambda si: slices[si].cells[0].name),
+                     unconnected_min_width, coupled=False)
+        else:
+            # Without coupling evidence, only near-identical slices merge:
+            # random glue fragments share a few common motifs but their
+            # full spines differ wildly, while true parallel lanes agree.
+            size = max((len(m.cells) for m in members), default=0)
+            if (len(members) >= unconnected_min_width
+                    and size >= unconnected_min_size):
+                ids = sorted(member_ids,
+                             key=lambda si: slices[si].cells[0].name)
+                emit(_order_slices_by_chains(ids, order_votes),
+                     unconnected_min_width, coupled=False)
+    return arrays
+
+
+def absorb_adjacent(netlist: Netlist, arrays: list[ExtractedArray], *,
+                    claimed: set[str],
+                    exclude_nets: set[int] | None = None,
+                    small_net_max: int = 8,
+                    match_frac: float = 0.6,
+                    rounds: int = 3) -> int:
+    """Grow arrays by absorbing per-bit adjacent cells.
+
+    For each array, look for a connection pattern ``(member type, member
+    pin, far pin, far type)`` that reaches exactly one distinct, unclaimed,
+    movable cell from at least ``match_frac`` of the slices; those far
+    cells are appended to their slices.  Repeating recovers whole adjacent
+    stages the slice grower missed (mux-tree levels whose internal edges
+    are chain-shaped, boundary registers with heterogeneous drivers, ...).
+
+    Args:
+        netlist: the design.
+        arrays: arrays to grow (modified in place).
+        claimed: globally claimed cell names (updated in place).
+        exclude_nets: nets never traversed (detected clocks).
+        small_net_max: traversal degree cap.
+        match_frac: per-slice coverage threshold.
+        rounds: maximum growth rounds.
+
+    Returns:
+        Total number of absorbed cells.
+    """
+    exclude = exclude_nets or set()
+    absorbed_total = 0
+    for _round in range(rounds):
+        grew = False
+        for array in arrays:
+            width = array.width
+            if width < 2:
+                continue
+            # candidates[label][slice index] -> far cells seen
+            candidates: dict[tuple, dict[int, list[Cell]]] = \
+                defaultdict(lambda: defaultdict(list))
+            for b, slice_cells in enumerate(array.slices):
+                for cell in slice_cells:
+                    for my_pin, far_pin, far in _small_net_neighbors(
+                            netlist, cell, small_net_max=small_net_max,
+                            exclude_nets=exclude):
+                        if far.fixed or not far.movable:
+                            continue
+                        if far.name in claimed:
+                            continue
+                        label = (cell.cell_type.name, my_pin, far_pin,
+                                 far.cell_type.name)
+                        candidates[label][b].append(far)
+            for label, by_slice in candidates.items():
+                mapping: dict[int, Cell] = {}
+                for b, fars in by_slice.items():
+                    distinct = {id(f): f for f in fars}
+                    if len(distinct) == 1:
+                        mapping[b] = next(iter(distinct.values()))
+                if len(mapping) < max(2, int(match_frac * width)):
+                    continue
+                far_ids = [id(f) for f in mapping.values()]
+                if len(set(far_ids)) != len(far_ids):
+                    continue  # shared cell across bits: control, not slice
+                for b, far in mapping.items():
+                    if far.name in claimed:
+                        continue
+                    array.slices[b].append(far)
+                    claimed.add(far.name)
+                    absorbed_total += 1
+                    grew = True
+        if not grew:
+            break
+    return absorbed_total
+
+
+# ----------------------------------------------------------------------
+# column-growth constructor
+# ----------------------------------------------------------------------
+
+@dataclass
+class _GrownColumn:
+    """A stage column during growth: cells plus (optional) bit ids."""
+
+    cells: list[Cell]
+    origin: str  # "control" or "grown"
+    stage_hint: int = 0
+    links: dict[int, dict[int, int]] = field(default_factory=dict)
+    # links[other_column_index][my_member_pos] = other_member_pos
+
+
+def _small_net_neighbors(netlist: Netlist, cell: Cell, *,
+                         small_net_max: int,
+                         exclude_nets: set[int]
+                         ) -> list[tuple[str, str, Cell]]:
+    """(my pin, far pin, far cell) across small nets."""
+    out: list[tuple[str, str, Cell]] = []
+    for net, ref in netlist.pins_of(cell):
+        if net.degree > small_net_max or net.index in exclude_nets:
+            continue
+        for other in net.pins:
+            if other.cell is cell:
+                continue
+            out.append((ref.pin.name, other.pin.name, other.cell))
+    return out
+
+
+def arrays_from_columns(netlist: Netlist, columns: list[ControlColumn], *,
+                        claimed: set[str],
+                        exclude_nets: set[int] | None = None,
+                        min_width: int = 4,
+                        min_depth: int = 2,
+                        small_net_max: int = 8,
+                        match_frac: float = 0.6,
+                        max_columns_per_array: int = 64,
+                        name_prefix: str = "carr") -> list[ExtractedArray]:
+    """Grow arrays from control columns through per-bit unanimous edges.
+
+    Starting from each (mostly unclaimed) control column, repeatedly look
+    for an adjacent stage: an edge label (my pin, far pin, far type) for
+    which at least ``match_frac`` of the column's members reach exactly one
+    distinct far cell.  Far cells in an existing column link the two
+    columns (with per-bit mapping); otherwise they found a new grown
+    column.  Connected columns form an array; bit ids propagate along the
+    mappings from the widest column.
+
+    Args:
+        netlist: the design.
+        columns: control columns from :func:`repro.core.bundles.control_columns`.
+        claimed: cell names already claimed by slice-based arrays.
+        exclude_nets: nets to never traverse (detected clocks).
+        min_width / min_depth: array acceptance thresholds.
+        small_net_max: traversal degree cap.
+        match_frac: unanimity threshold for accepting a stage edge.
+        max_columns_per_array: growth budget.
+        name_prefix: extracted array name prefix.
+    """
+    exclude = exclude_nets or set()
+    grown: list[_GrownColumn] = []
+    col_of: dict[int, tuple[int, int]] = {}  # id(cell) -> (col idx, pos)
+
+    def register(cells: list[Cell], origin: str, stage: int) -> int:
+        idx = len(grown)
+        grown.append(_GrownColumn(cells=list(cells), origin=origin,
+                                  stage_hint=stage))
+        for pos, c in enumerate(cells):
+            col_of.setdefault(id(c), (idx, pos))
+        return idx
+
+    # seed with control columns that are mostly unclaimed
+    for col in columns:
+        free = [c for c in col.cells if c.name not in claimed]
+        if len(free) >= min_width and len(free) >= 0.5 * len(col.cells):
+            fresh = [c for c in free if id(c) not in col_of]
+            if len(fresh) >= min_width:
+                register(sorted(fresh, key=lambda c: c.name), "control", 0)
+
+    n_seeds = len(grown)
+    # BFS growth
+    head = 0
+    while head < len(grown):
+        col = grown[head]
+        if head >= n_seeds + max_columns_per_array:
+            break
+        # enumerate candidate stage edges from this column
+        per_label: dict[tuple[str, str, str], dict[int, list[Cell]]] = \
+            defaultdict(lambda: defaultdict(list))
+        for pos, cell in enumerate(col.cells):
+            for my_pin, far_pin, far in _small_net_neighbors(
+                    netlist, cell, small_net_max=small_net_max,
+                    exclude_nets=exclude):
+                label = (my_pin, far_pin, far.cell_type.name)
+                per_label[label][pos].append(far)
+        for label, by_pos in per_label.items():
+            # keep positions with exactly one distinct far cell
+            mapping: dict[int, Cell] = {}
+            for pos, fars in by_pos.items():
+                distinct = {id(f): f for f in fars}
+                if len(distinct) == 1:
+                    mapping[pos] = next(iter(distinct.values()))
+            if len(mapping) < max(min_width,
+                                  int(match_frac * len(col.cells))):
+                continue
+            far_cells = list(mapping.values())
+            if len({id(f) for f in far_cells}) != len(far_cells):
+                continue  # two bits mapping to one far cell: shared logic
+            # where do the far cells live?
+            homes = defaultdict(list)
+            for pos, f in mapping.items():
+                homes[col_of.get(id(f), (None, None))[0]].append((pos, f))
+            for home, pairs in homes.items():
+                if home == head:
+                    continue
+                if home is None:
+                    fresh = [f for _pos, f in pairs
+                             if f.name not in claimed and f.movable]
+                    if len(fresh) >= max(min_width,
+                                         int(match_frac * len(col.cells))):
+                        new_idx = register(
+                            sorted(fresh, key=lambda c: c.name), "grown",
+                            col.stage_hint + 1)
+                        link = {pos: col_of[id(f)][1] for pos, f in pairs
+                                if col_of.get(id(f), (None, 0))[0] == new_idx}
+                        col.links[new_idx] = link
+                else:
+                    if len(pairs) >= match_frac * min(
+                            len(col.cells), len(grown[home].cells)):
+                        link = {pos: col_of[id(f)][1] for pos, f in pairs}
+                        col.links.setdefault(home, {}).update(link)
+        head += 1
+
+    # ------------------------------------------------------------------
+    # connected columns -> arrays, with bit-id propagation
+    # ------------------------------------------------------------------
+    uf = _UnionFind()
+    for i, col in enumerate(grown):
+        uf.find(i)
+        for j in col.links:
+            uf.union(i, j)
+    comps: dict[int, list[int]] = defaultdict(list)
+    for i in range(len(grown)):
+        comps[uf.find(i)].append(i)
+
+    arrays: list[ExtractedArray] = []
+    counter = 0
+    for comp in comps.values():
+        cols = sorted(comp, key=lambda i: (grown[i].stage_hint, i))
+        if len(cols) < min_depth:
+            continue
+        base = max(cols, key=lambda i: len(grown[i].cells))
+        bit_of: dict[tuple[int, int], int] = {}
+        for pos in range(len(grown[base].cells)):
+            bit_of[(base, pos)] = pos
+        # propagate bit ids by BFS over links (both directions)
+        frontier = [base]
+        visited = {base}
+        while frontier:
+            i = frontier.pop()
+            for j, link in grown[i].links.items():
+                if j not in visited and j in comp:
+                    for my_pos, other_pos in link.items():
+                        if (i, my_pos) in bit_of:
+                            bit_of.setdefault((j, other_pos),
+                                              bit_of[(i, my_pos)])
+                    visited.add(j)
+                    frontier.append(j)
+            for j in comp:
+                if j in visited:
+                    continue
+                link = grown[j].links.get(i)
+                if link:
+                    for other_pos, my_pos in link.items():
+                        if (i, my_pos) in bit_of:
+                            bit_of.setdefault((j, other_pos),
+                                              bit_of[(i, my_pos)])
+                    visited.add(j)
+                    frontier.append(j)
+
+        width = len(grown[base].cells)
+        slices: list[list[Cell]] = [[] for _ in range(width)]
+        for i in cols:
+            for pos, cell in enumerate(grown[i].cells):
+                b = bit_of.get((i, pos))
+                if b is not None and 0 <= b < width:
+                    slices[b].append(cell)
+        slices = [s for s in slices if s]
+        if len(slices) >= min_width and max(len(s) for s in slices) >= \
+                min_depth:
+            arrays.append(ExtractedArray(name=f"{name_prefix}{counter}",
+                                         slices=slices, source="columns"))
+            counter += 1
+    return arrays

@@ -1,0 +1,229 @@
+"""Edge bundles and control columns — the extractor's raw regularity cues.
+
+Datapath regularity shows up in a flat netlist as *repetition*:
+
+- **Edge bundles** (:func:`edge_bundles`): the same directed connection
+  pattern ``(driver type, out pin) -> (in pin, sink type)`` over small
+  nets, repeated once per bit.  A bundle whose two endpoint sets are
+  disjoint is a *matching* bundle (intra-slice structure, e.g. the
+  FA.S -> DFF.D of every bit); a bundle whose endpoint sets overlap is a
+  *chain* bundle (inter-slice structure, e.g. the carry chain
+  FA.CO -> FA.CI) — chains order the bits.
+- **Control columns** (:func:`control_columns`): a high-fanout net whose
+  sinks enter many same-type cells through the same pin marks one cell per
+  bit of the same stage (mux selects, write enables, operand-bit
+  broadcasts).
+
+Clock-like nets are excluded structurally: any net connecting a large
+fraction of all sequential cells is treated as a clock regardless of name
+or weight.  Nothing here reads generator ground-truth attributes.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+
+from ..netlist import Cell, Net, Netlist
+
+# A bundle label: (driver master, driver pin, sink pin, sink master).
+BundleLabel = tuple[str, str, str, str]
+
+
+@dataclass
+class EdgeBundle:
+    """All directed edges in the design with one connection label."""
+
+    label: BundleLabel
+    edges: list[tuple[Cell, Cell]] = field(default_factory=list)
+
+    @property
+    def count(self) -> int:
+        return len(self.edges)
+
+    @property
+    def is_chain(self) -> bool:
+        """True for self-composing patterns: inter-slice, not intra-slice.
+
+        Two conditions qualify: the driver and sink sets overlap (a literal
+        chain like the carry FA.CO -> FA.CI), or both endpoints are the
+        same master (same-type hops — shift stages, mux-tree levels,
+        register-to-register boundaries — connect *different bits or
+        different pipeline ranks*, so they order slices rather than belong
+        inside one).
+        """
+        if self.label[0] == self.label[3]:
+            return True
+        drivers = {id(u) for u, _v in self.edges}
+        sinks = {id(v) for _u, v in self.edges}
+        return bool(drivers & sinks)
+
+    def is_matching(self, one_to_one_frac: float = 0.9) -> bool:
+        """True for bundles usable as intra-slice evidence.
+
+        Beyond not being a chain, the edges must form a (near-)perfect
+        matching: per-bit structure pairs each driver with exactly one
+        sink.  A bundle whose drivers repeat (one register output fanned
+        out to several same-type glue gates) is broadcast wiring, not a
+        bit-slice stage.
+        """
+        if self.is_chain:
+            return False
+        n = self.count
+        drivers = {id(u) for u, _v in self.edges}
+        sinks = {id(v) for _u, v in self.edges}
+        return (len(drivers) >= one_to_one_frac * n
+                and len(sinks) >= one_to_one_frac * n)
+
+    def chains(self) -> list[list[Cell]]:
+        """Decompose a chain bundle into maximal simple paths.
+
+        Follows unique successor/predecessor links; cells with multiple
+        bundle successors terminate paths (conservative).
+        """
+        succ: dict[int, Cell] = {}
+        pred: dict[int, Cell] = {}
+        multi: set[int] = set()
+        cells: dict[int, Cell] = {}
+        for u, v in self.edges:
+            cells[id(u)] = u
+            cells[id(v)] = v
+            if id(u) in succ or id(u) in multi:
+                multi.add(id(u))
+                succ.pop(id(u), None)
+            else:
+                succ[id(u)] = v
+            if id(v) in pred or id(v) in multi:
+                multi.add(id(v))
+                pred.pop(id(v), None)
+            else:
+                pred[id(v)] = u
+        heads = [c for key, c in cells.items()
+                 if key in succ and key not in pred]
+        paths: list[list[Cell]] = []
+        visited: set[int] = set()
+        for head in heads:
+            path = [head]
+            visited.add(id(head))
+            cur = head
+            while id(cur) in succ:
+                nxt = succ[id(cur)]
+                if id(nxt) in visited:
+                    break
+                path.append(nxt)
+                visited.add(id(nxt))
+                cur = nxt
+            if len(path) >= 2:
+                paths.append(path)
+        return paths
+
+
+def detect_clock_nets(netlist: Netlist, *, frac: float = 0.25) -> set[int]:
+    """Indices of nets that structurally look like clocks.
+
+    A net counts as a clock if it reaches at least ``frac`` of all
+    sequential cells (and at least 4 of them).  Pure structure — no name
+    or weight conventions.
+    """
+    seq_total = sum(1 for c in netlist.cells if c.cell_type.is_sequential)
+    if seq_total == 0:
+        return set()
+    out: set[int] = set()
+    for net in netlist.nets:
+        seq = sum(1 for ref in net.pins if ref.cell.cell_type.is_sequential)
+        if seq >= max(4, frac * seq_total):
+            out.add(net.index)
+    return out
+
+
+def edge_bundles(netlist: Netlist, *, small_net_max: int = 8,
+                 min_count: int = 4,
+                 exclude_nets: set[int] | None = None
+                 ) -> dict[BundleLabel, EdgeBundle]:
+    """Collect qualifying edge bundles.
+
+    Args:
+        netlist: the design.
+        small_net_max: only nets up to this degree produce edges.
+        min_count: bundles repeated fewer times are dropped.
+        exclude_nets: net indices to ignore (e.g. detected clocks).
+
+    Returns:
+        label -> bundle, for bundles with ``count >= min_count``.
+    """
+    exclude = exclude_nets or set()
+    bundles: dict[BundleLabel, EdgeBundle] = {}
+    for net in netlist.nets:
+        if net.index in exclude or net.degree > small_net_max:
+            continue
+        driver = net.driver
+        if driver is None or driver.cell.fixed:
+            continue
+        for sink in net.sinks:
+            if sink.cell is driver.cell or sink.cell.fixed:
+                continue
+            label = (driver.cell.cell_type.name, driver.pin.name,
+                     sink.pin.name, sink.cell.cell_type.name)
+            bundle = bundles.get(label)
+            if bundle is None:
+                bundle = bundles[label] = EdgeBundle(label=label)
+            bundle.edges.append((driver.cell, sink.cell))
+    return {label: b for label, b in bundles.items()
+            if b.count >= min_count}
+
+
+@dataclass
+class ControlColumn:
+    """Same-stage cells identified by a shared control net.
+
+    Attributes:
+        net: the control net.
+        pin_name: the sink pin through which all members attach.
+        cells: member cells (one per bit, order not yet meaningful).
+    """
+
+    net: Net
+    pin_name: str
+    cells: list[Cell] = field(default_factory=list)
+
+    @property
+    def width(self) -> int:
+        return len(self.cells)
+
+
+def control_columns(netlist: Netlist, *, min_width: int = 4,
+                    small_net_max: int = 8,
+                    max_fanout_frac: float = 0.5,
+                    exclude_nets: set[int] | None = None
+                    ) -> list[ControlColumn]:
+    """Find control columns: high-fanout nets feeding many same-type cells
+    through the same pin.
+
+    Args:
+        netlist: the design.
+        min_width: minimum group size to qualify.
+        small_net_max: nets at or below this degree are bundle territory,
+            not control.
+        max_fanout_frac: nets reaching more than this fraction of all
+            cells are global distribution (reset-like) and skipped.
+        exclude_nets: net indices to ignore (detected clocks).
+    """
+    exclude = exclude_nets or set()
+    out: list[ControlColumn] = []
+    cell_cap = max_fanout_frac * max(netlist.num_cells, 1)
+    for net in netlist.nets:
+        if net.index in exclude or net.degree <= small_net_max:
+            continue
+        if net.degree > cell_cap:
+            continue
+        groups: dict[tuple[str, str], list[Cell]] = defaultdict(list)
+        for ref in net.sinks:
+            if ref.cell.fixed:
+                continue
+            groups[(ref.cell.cell_type.name, ref.pin.name)].append(ref.cell)
+        for (_type_name, pin_name), cells in groups.items():
+            distinct = {id(c) for c in cells}
+            if len(distinct) >= min_width and len(distinct) == len(cells):
+                out.append(ControlColumn(net=net, pin_name=pin_name,
+                                         cells=cells))
+    return out

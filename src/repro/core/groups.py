@@ -1,0 +1,198 @@
+"""Array geometry planning: from extracted arrays to placement shapes.
+
+An extracted array (slices x stages) is given a *plan*: a relative
+(dx, dy) offset for every member cell such that
+
+- slices occupy consecutive rows (one slice per row),
+- corresponding stages align vertically into columns,
+- arrays wider (more slices) than the row budget *fold* into several
+  side-by-side blocks, keeping the footprint near-square.
+
+Plans are consumed by the alignment-force builder (relative offsets for
+the pair terms), the spreader (rigid group ids), and the
+structure-preserving legalizer (final snapping).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from ..netlist import Cell
+from ..place.region import PlacementRegion
+from .arrays import ExtractedArray
+
+
+@dataclass
+class ArrayPlan:
+    """Placement geometry for one extracted array.
+
+    Attributes:
+        array: the source array.
+        offsets: cell index -> (dx, dy) of the cell's lower-left corner
+            relative to the array origin (lower-left of the block).
+        width: total planned footprint width.
+        height: total planned footprint height.
+        rows_per_block: slices stacked per fold block.
+    """
+
+    array: ExtractedArray
+    offsets: dict[int, tuple[float, float]] = field(default_factory=dict)
+    width: float = 0.0
+    height: float = 0.0
+    rows_per_block: int = 0
+    # filled by structured legalization: final snapped origin, or None
+    placed_origin: tuple[float, float] | None = None
+
+    def cells(self) -> list[Cell]:
+        return self.array.cells()
+
+    @property
+    def area(self) -> float:
+        return self.width * self.height
+
+
+def plan_array(array: ExtractedArray, region: PlacementRegion, *,
+               stage_padding: float = 0.0,
+               block_gap: float = 2.0,
+               max_rows_frac: float = 0.5) -> ArrayPlan:
+    """Compute the relative placement plan for one array.
+
+    Args:
+        array: extracted array (ragged slices allowed).
+        region: target region; bounds the slice stack height.
+        stage_padding: extra space between stage columns (site units).
+        block_gap: horizontal gap between fold blocks.
+        max_rows_frac: a block may use at most this fraction of the
+            region's rows (folding kicks in beyond it).
+
+    Returns:
+        The plan with per-cell offsets.
+    """
+    row_height = region.row_height
+    n_slices = array.width
+    depth = array.depth
+
+    # stage column widths: max cell width appearing at each stage position
+    col_w = [0.0] * depth
+    for slice_cells in array.slices:
+        for s, cell in enumerate(slice_cells):
+            col_w[s] = max(col_w[s], cell.width)
+    col_x = [0.0] * depth
+    run = 0.0
+    for s in range(depth):
+        col_x[s] = run
+        run += col_w[s] + stage_padding
+    block_width = max(run - stage_padding, 1.0)
+
+    max_rows = max(2, int(region.num_rows * max_rows_frac))
+    rows_per_block = min(n_slices, max_rows)
+    # prefer a near-square footprint when folding is possible
+    if n_slices > max_rows:
+        n_blocks = math.ceil(n_slices / max_rows)
+        rows_per_block = math.ceil(n_slices / n_blocks)
+    else:
+        # fold very tall, thin arrays for aspect ratio even when they fit
+        aspect = (n_slices * row_height) / block_width
+        if aspect > 8.0 and n_slices >= 8:
+            n_blocks = min(int(math.sqrt(aspect / 2.0)),
+                           math.ceil(n_slices / 2))
+            n_blocks = max(n_blocks, 1)
+            rows_per_block = math.ceil(n_slices / n_blocks)
+
+    plan = ArrayPlan(array=array, rows_per_block=rows_per_block)
+    n_blocks = math.ceil(n_slices / rows_per_block)
+    for b, slice_cells in enumerate(array.slices):
+        block, row = divmod(b, rows_per_block)
+        bx = block * (block_width + block_gap)
+        for s, cell in enumerate(slice_cells):
+            plan.offsets[cell.index] = (bx + col_x[min(s, depth - 1)],
+                                        row * row_height)
+    plan.width = n_blocks * (block_width + block_gap) - block_gap
+    plan.height = min(rows_per_block, n_slices) * row_height
+    return plan
+
+
+def plan_arrays(arrays: list[ExtractedArray], region: PlacementRegion,
+                **kwargs: object) -> list[ArrayPlan]:
+    """Plan every array.
+
+    Coupled arrays become stacked block plans; if a block plan cannot fit
+    the core, the array is split into slice chunks until it does.
+    *Uncoupled* arrays (independent isomorphic lanes with no cross-bit
+    wiring) are planned per-slice: each lane keeps its in-row formation
+    but is free to place independently — stacking unrelated lanes would
+    only cost wirelength.
+    """
+    plans: list[ArrayPlan] = []
+    for array in arrays:
+        if not array.coupled:
+            for b, slice_cells in enumerate(array.slices):
+                lane = ExtractedArray(name=f"{array.name}.{b}",
+                                      slices=[slice_cells],
+                                      source=array.source, coupled=False)
+                plan = plan_array(lane, region, **kwargs)
+                if plan.width <= region.width:
+                    plans.append(plan)
+            continue
+        pending = [array]
+        while pending:
+            current = pending.pop()
+            plan = plan_array(current, region, **kwargs)
+            if plan.width <= 0.9 * region.width and \
+                    plan.height <= region.height:
+                plans.append(plan)
+            elif current.width >= 2:
+                half = current.width // 2
+                pending.append(ExtractedArray(
+                    name=f"{current.name}a", slices=current.slices[:half],
+                    source=current.source, coupled=True))
+                pending.append(ExtractedArray(
+                    name=f"{current.name}b", slices=current.slices[half:],
+                    source=current.source, coupled=True))
+            # width-1 arrays that still do not fit are dropped
+    return plans
+
+
+def make_reprojector(plans: list[ArrayPlan], arrays,
+                     region: PlacementRegion):
+    """Build the post-solve hook that keeps fused arrays in formation.
+
+    Returns a callable ``reproject(x, y)`` that, for each plan, estimates
+    the array origin implied by the current member centers (least-squares:
+    the mean residual) and snaps every member back onto its planned
+    offset — the array then moves through global placement as a rigid
+    macro whose origin the solver optimises.
+    """
+    import numpy as np
+
+    half_w = arrays.width / 2.0
+    half_h = arrays.height / 2.0
+    plan_data = []
+    for plan in plans:
+        idx = np.array([c.index for c in plan.cells()], dtype=np.int64)
+        off_x = np.array([plan.offsets[i][0] for i in idx]) + half_w[idx]
+        off_y = np.array([plan.offsets[i][1] for i in idx]) + half_h[idx]
+        plan_data.append((idx, off_x, off_y, plan.width, plan.height))
+
+    def reproject(x: "np.ndarray", y: "np.ndarray") -> None:
+        for idx, off_x, off_y, width, height in plan_data:
+            ox = float(np.mean(x[idx] - off_x))
+            oy = float(np.mean(y[idx] - off_y))
+            ox = min(max(ox, region.x), region.x_end - width)
+            oy = min(max(oy, region.y), region.y_top - height)
+            x[idx] = ox + off_x
+            y[idx] = oy + off_y
+
+    return reproject
+
+
+def group_ids(plans: list[ArrayPlan], num_cells: int) -> "np.ndarray":
+    """(N,) array of rigid-group ids for the spreader (-1 = free cell)."""
+    import numpy as np
+
+    groups = np.full(num_cells, -1, dtype=np.int64)
+    for gid, plan in enumerate(plans):
+        for cell in plan.cells():
+            groups[cell.index] = gid
+    return groups

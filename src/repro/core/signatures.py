@@ -1,0 +1,101 @@
+"""Structural cell signatures (Weisfeiler–Leman refinement).
+
+A cell's signature summarises its local netlist neighbourhood: round 0 is
+the master name; each refinement round folds in, per pin, the labels of the
+cells reachable through *small* nets (and, for high-fanout nets, the net's
+identity bucket instead — control nets are identity-carrying context while
+their full sink lists are noise).
+
+Signatures never look at names, generator attributes, or positions — only
+connectivity and master types — so they are legitimate extraction inputs.
+
+Used by the extractor for slice canonical forms and exposed for analysis;
+the bundle/column machinery in :mod:`repro.core.bundles` works from raw
+types and is the primary extraction path.
+"""
+
+from __future__ import annotations
+
+import zlib
+from collections import defaultdict
+
+from ..netlist import Netlist
+
+
+def _stable_hash(value: object) -> int:
+    """Process-independent hash (``hash()`` varies with PYTHONHASHSEED)."""
+    return zlib.crc32(repr(value).encode())
+
+
+def structural_signatures(netlist: Netlist, rounds: int = 2, *,
+                          small_net_max: int = 8,
+                          include_control_identity: bool = True
+                          ) -> list[int]:
+    """Compute per-cell structural signatures.
+
+    Args:
+        netlist: the design.
+        rounds: WL refinement rounds; more rounds split classes near
+            structural boundaries (array ends), so keep small.
+        small_net_max: nets with more pins than this do not propagate
+            neighbour labels.
+        include_control_identity: fold the *identity* of attached
+            high-fanout nets into the signature (separates otherwise
+            identical cells on different control groups).
+
+    Returns:
+        A list of signature ints indexed by cell index.
+    """
+    if rounds < 0:
+        raise ValueError("rounds must be non-negative")
+    labels = [_stable_hash(("t", cell.cell_type.name))
+              for cell in netlist.cells]
+
+    # Precompute incidences once: per cell, (pin name, net, is_driver).
+    incidences: list[list[tuple[str, int, int, bool]]] = []
+    # entries: (pin_name, net_index, net_degree, is_driver)
+    for cell in netlist.cells:
+        entry = [(ref.pin.name, net.index, net.degree, ref.is_driver)
+                 for net, ref in netlist.pins_of(cell)]
+        incidences.append(entry)
+
+    # For small nets, the (far pin, far cell) lists per (cell, pin).
+    far: dict[tuple[int, str], list[tuple[str, int]]] = defaultdict(list)
+    for net in netlist.nets:
+        if net.degree > small_net_max:
+            continue
+        for ref in net.pins:
+            for other in net.pins:
+                if other is ref:
+                    continue
+                far[(ref.cell.index, ref.pin.name)].append(
+                    (other.pin.name, other.cell.index))
+
+    for _round in range(rounds):
+        new_labels = list(labels)
+        for i, cell in enumerate(netlist.cells):
+            features: list[tuple] = []
+            for pin_name, net_idx, degree, is_driver in incidences[i]:
+                if degree > small_net_max:
+                    if include_control_identity:
+                        features.append(("ctl", pin_name, net_idx))
+                    else:
+                        features.append(("big", pin_name, degree))
+                    continue
+                neighbours = tuple(sorted(
+                    (far_pin, labels[far_cell])
+                    for far_pin, far_cell in far.get((i, pin_name), ())))
+                features.append(("sml", pin_name, is_driver, neighbours))
+            new_labels[i] = _stable_hash((labels[i], tuple(sorted(features))))
+        labels = new_labels
+    return labels
+
+
+def signature_classes(netlist: Netlist, rounds: int = 2,
+                      **kwargs: object) -> dict[int, list[int]]:
+    """Group cell indices by signature. Returns signature -> cell indices."""
+    sigs = structural_signatures(netlist, rounds, **kwargs)
+    classes: dict[int, list[int]] = defaultdict(list)
+    for i, sig in enumerate(sigs):
+        classes[sig].append(i)
+    return dict(classes)

@@ -1,0 +1,227 @@
+"""Bit-slice growth from matching edge bundles.
+
+A *slice* is the per-bit unit of a datapath array: a small connected
+subcircuit repeated once per bit.  Matching bundles (see
+:mod:`repro.core.bundles`) are exactly the intra-slice wiring repeated per
+bit, so connected components over matching-bundle edges recover candidate
+slices directly.  Chain bundles (carry chains and their kin) are *excluded*
+here — they connect different bits and would short all slices together —
+and are consumed later for ordering.
+
+Each slice gets a canonical *form* (isomorphism key) and a canonical
+internal cell order, so that parallel slices can be compared and aligned
+stage-by-stage.
+"""
+
+from __future__ import annotations
+
+from collections import Counter, defaultdict
+from dataclasses import dataclass, field
+
+from ..netlist import Cell
+from .bundles import BundleLabel, EdgeBundle
+
+
+@dataclass
+class Slice:
+    """One candidate bit slice.
+
+    Attributes:
+        cells: members in canonical (stage) order.
+        form: exact isomorphism key shared by parallel slices.
+        stage_forms: per-cell local form ``(master, sorted incident
+            internal edge labels)``, parallel to ``cells``; array
+            formation groups slices by the *frequent* subset of these
+            ("spine"), which tolerates per-bit boundary differences (a bit
+            whose input register is fed by a different glue gate still
+            matches its siblings).
+    """
+
+    cells: list[Cell] = field(default_factory=list)
+    form: tuple = ()
+    stage_forms: list[tuple] = field(default_factory=list)
+    edge_labels: list[tuple] = field(default_factory=list)
+    edges: list[tuple] = field(default_factory=list)
+
+    @property
+    def size(self) -> int:
+        return len(self.cells)
+
+    def cell_names(self) -> set[str]:
+        return {c.name for c in self.cells}
+
+
+class _UnionFind:
+    def __init__(self) -> None:
+        self.parent: dict[int, int] = {}
+
+    def find(self, a: int) -> int:
+        root = a
+        while self.parent.setdefault(root, root) != root:
+            root = self.parent[root]
+        while self.parent[a] != root:  # path compression
+            self.parent[a], a = root, self.parent[a]
+        return root
+
+    def union(self, a: int, b: int) -> None:
+        ra, rb = self.find(a), self.find(b)
+        if ra != rb:
+            self.parent[ra] = rb
+
+
+def _canonical_order(cells: list[Cell],
+                     edges: list[tuple[Cell, Cell, BundleLabel]]
+                     ) -> list[Cell]:
+    """Order slice cells by dataflow depth, deterministically.
+
+    Depth = longest path from any slice-internal source along internal
+    edges; ties broken by (master name, sorted incident edge labels) so
+    isomorphic slices order their cells identically.
+    """
+    index = {id(c): i for i, c in enumerate(cells)}
+    succ: list[list[int]] = [[] for _ in cells]
+    pred_count = [0] * len(cells)
+    labels_at: list[list[tuple]] = [[] for _ in cells]
+    for u, v, label in edges:
+        iu, iv = index[id(u)], index[id(v)]
+        succ[iu].append(iv)
+        pred_count[iv] += 1
+        labels_at[iu].append(("o",) + label)
+        labels_at[iv].append(("i",) + label)
+
+    # longest-path depth via Kahn; cycles (rare) fall back to depth 0 order
+    depth = [0] * len(cells)
+    queue = [i for i, p in enumerate(pred_count) if p == 0]
+    remaining = list(pred_count)
+    seen = 0
+    while queue:
+        i = queue.pop()
+        seen += 1
+        for j in succ[i]:
+            depth[j] = max(depth[j], depth[i] + 1)
+            remaining[j] -= 1
+            if remaining[j] == 0:
+                queue.append(j)
+    # (cycles leave some nodes unprocessed with depth 0 — acceptable)
+
+    def key(i: int) -> tuple:
+        return (depth[i], cells[i].cell_type.name,
+                tuple(sorted(labels_at[i])))
+
+    return [cells[i] for i in sorted(range(len(cells)), key=key)]
+
+
+def _form_of(cells: list[Cell],
+             edges: list[tuple[Cell, Cell, BundleLabel]]) -> tuple:
+    """Isomorphism key: ordered type sequence + edge-label multiset."""
+    types = tuple(c.cell_type.name for c in cells)
+    label_multiset = tuple(sorted(label for _u, _v, label in edges))
+    return (types, label_multiset)
+
+
+def _split_oversized(cells: list[Cell],
+                     edges: list[tuple[Cell, Cell, BundleLabel]],
+                     max_size: int
+                     ) -> list[tuple[list[Cell],
+                                     list[tuple[Cell, Cell, BundleLabel]]]]:
+    """Recursively split an oversized component by peeling weak bundles.
+
+    Several bit lanes can short into one giant component through glue-level
+    bundles (a register output wired into another lane's coefficient
+    input).  Those bridging labels are locally *rare* — the lane's own
+    stage labels appear once per lane, i.e. dozens of times — so removing
+    the rarest label's edges and re-splitting isolates the true slices.
+    """
+    if len(cells) <= max_size:
+        return [(cells, edges)]
+    if not edges:
+        return []
+    label_counts: Counter = Counter(label for _u, _v, label in edges)
+    rarest = min(label_counts, key=lambda lab: (label_counts[lab], lab))
+    if len(label_counts) == 1:
+        return []  # homogeneous but oversized: not a slice structure
+    kept = [e for e in edges if e[2] != rarest]
+    uf = _UnionFind()
+    for u, v, _label in kept:
+        uf.union(id(u), id(v))
+    comp_cells: dict[int, list[Cell]] = defaultdict(list)
+    for c in cells:
+        comp_cells[uf.find(id(c))].append(c)
+    comp_edges: dict[int, list[tuple[Cell, Cell, BundleLabel]]] = \
+        defaultdict(list)
+    for u, v, label in kept:
+        comp_edges[uf.find(id(u))].append((u, v, label))
+    out: list[tuple[list[Cell], list[tuple[Cell, Cell, BundleLabel]]]] = []
+    for root, group in comp_cells.items():
+        if len(group) < 2:
+            continue
+        out.extend(_split_oversized(group, comp_edges.get(root, []),
+                                    max_size))
+    return out
+
+
+def grow_slices(bundles: dict[BundleLabel, EdgeBundle], *,
+                max_slice_size: int = 64,
+                min_slice_size: int = 2) -> list[Slice]:
+    """Grow candidate slices from matching bundles.
+
+    Args:
+        bundles: qualifying bundles from :func:`repro.core.bundles.edge_bundles`.
+        max_slice_size: components larger than this are discarded (they
+            indicate a shorted structure, not a bit slice).
+        min_slice_size: singletons and undersized components are dropped.
+
+    Returns:
+        Candidate slices with canonical order and form.
+    """
+    matching = [b for b in bundles.values() if b.is_matching()]
+    uf = _UnionFind()
+    cells_by_id: dict[int, Cell] = {}
+    for bundle in matching:
+        for u, v in bundle.edges:
+            cells_by_id[id(u)] = u
+            cells_by_id[id(v)] = v
+            uf.union(id(u), id(v))
+
+    members: dict[int, list[Cell]] = defaultdict(list)
+    for key, cell in cells_by_id.items():
+        members[uf.find(key)].append(cell)
+
+    comp_of: dict[int, int] = {key: uf.find(key) for key in cells_by_id}
+    edges_of: dict[int, list[tuple[Cell, Cell, BundleLabel]]] = \
+        defaultdict(list)
+    for bundle in matching:
+        for u, v in bundle.edges:
+            edges_of[comp_of[id(u)]].append((u, v, bundle.label))
+
+    pieces: list[tuple[list[Cell], list[tuple[Cell, Cell, BundleLabel]]]] = []
+    for root, cells in members.items():
+        if len(cells) < min_slice_size:
+            continue
+        pieces.extend(_split_oversized(cells, edges_of.get(root, []),
+                                       max_slice_size))
+
+    slices: list[Slice] = []
+    for cells, edges in pieces:
+        if not min_slice_size <= len(cells) <= max_slice_size:
+            continue
+        ordered = _canonical_order(cells, edges)
+        incident: dict[int, list[tuple]] = defaultdict(list)
+        for u, v, label in edges:
+            incident[id(u)].append(("o",) + label)
+            incident[id(v)].append(("i",) + label)
+        forms = [(c.cell_type.name, tuple(sorted(incident[id(c)])))
+                 for c in ordered]
+        slices.append(Slice(cells=ordered, form=_form_of(ordered, edges),
+                            stage_forms=forms,
+                            edge_labels=[label for _u, _v, label in edges],
+                            edges=list(edges)))
+    return slices
+
+
+def group_by_form(slices: list[Slice]) -> dict[tuple, list[Slice]]:
+    """Group slices by isomorphism form."""
+    groups: dict[tuple, list[Slice]] = defaultdict(list)
+    for s in slices:
+        groups[s.form].append(s)
+    return dict(groups)

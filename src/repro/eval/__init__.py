@@ -1,0 +1,29 @@
+"""Evaluation: wirelength/density/congestion metrics, extraction scoring,
+and text reporting."""
+
+from .congestion import CongestionReport, congestion_report, rudy_map
+from .metrics import (PlacementReport, displacement, evaluate_placement,
+                      formation_score, snapshot_positions, total_overlap)
+from .quality import ExtractionScore, score_extraction
+from .report import format_series, format_table, geomean, ratio_row
+from .steiner import rmst_length, steiner_length, total_steiner
+
+__all__ = [
+    "CongestionReport",
+    "ExtractionScore",
+    "PlacementReport",
+    "congestion_report",
+    "displacement",
+    "evaluate_placement",
+    "formation_score",
+    "format_series",
+    "format_table",
+    "geomean",
+    "ratio_row",
+    "rmst_length",
+    "rudy_map",
+    "score_extraction",
+    "snapshot_positions",
+    "steiner_length",
+    "total_steiner",
+]

@@ -1,0 +1,115 @@
+"""Extraction-quality scoring against generator ground truth.
+
+Scores an :class:`~repro.core.extraction.ExtractionResult`-style set of
+extracted arrays against the ground-truth labels the benchmark generator
+recorded.  Two views:
+
+- **cell-level classification**: precision / recall / F1 of "is this cell
+  part of a datapath array".
+- **pairwise clustering**: over cells labeled datapath by both sides,
+  precision / recall of "these two cells are in the same array" — this
+  penalises both fragmenting one true array and merging several.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import combinations
+
+from ..gen.units import ArrayTruth
+
+
+@dataclass(frozen=True)
+class ExtractionScore:
+    """Quality numbers for one design's extraction."""
+
+    design: str
+    true_cells: int
+    extracted_cells: int
+    precision: float
+    recall: float
+    f1: float
+    pair_precision: float
+    pair_recall: float
+    true_arrays: int
+    extracted_arrays: int
+
+    def row(self) -> dict[str, object]:
+        return {
+            "design": self.design,
+            "true_cells": self.true_cells,
+            "found_cells": self.extracted_cells,
+            "prec": round(self.precision, 3),
+            "recall": round(self.recall, 3),
+            "f1": round(self.f1, 3),
+            "arrays": f"{self.extracted_arrays}/{self.true_arrays}",
+        }
+
+
+def _f1(precision: float, recall: float) -> float:
+    if precision + recall <= 0:
+        return 0.0
+    return 2.0 * precision * recall / (precision + recall)
+
+
+def score_extraction(design: str, truth: list[ArrayTruth],
+                     extracted: list[set[str]],
+                     *, max_pair_cells: int = 4000) -> ExtractionScore:
+    """Score extracted arrays against ground truth.
+
+    Args:
+        design: design name for the report row.
+        truth: generator ground-truth arrays.
+        extracted: one set of cell names per extracted array.
+        max_pair_cells: pairwise metrics are skipped (reported as exact
+            cell-level values) beyond this population, to bound cost.
+
+    Returns:
+        The score record.
+    """
+    true_sets = [t.cell_names() for t in truth]
+    true_cells = set().union(*true_sets) if true_sets else set()
+    found_cells = set().union(*extracted) if extracted else set()
+
+    tp = len(true_cells & found_cells)
+    precision = tp / len(found_cells) if found_cells else 0.0
+    recall = tp / len(true_cells) if true_cells else 0.0
+
+    # pairwise metrics over the union population
+    pop = sorted(true_cells | found_cells)
+    if 0 < len(pop) <= max_pair_cells:
+        true_id: dict[str, int] = {}
+        for i, s in enumerate(true_sets):
+            for name in s:
+                true_id[name] = i
+        found_id: dict[str, int] = {}
+        for i, s in enumerate(extracted):
+            for name in s:
+                found_id[name] = i
+        same_true = same_found = both = 0
+        for a, b in combinations(pop, 2):
+            t_same = (a in true_id and b in true_id
+                      and true_id[a] == true_id[b])
+            f_same = (a in found_id and b in found_id
+                      and found_id[a] == found_id[b])
+            same_true += t_same
+            same_found += f_same
+            both += t_same and f_same
+        pair_precision = both / same_found if same_found else 0.0
+        pair_recall = both / same_true if same_true else 0.0
+    else:
+        pair_precision = precision
+        pair_recall = recall
+
+    return ExtractionScore(
+        design=design,
+        true_cells=len(true_cells),
+        extracted_cells=len(found_cells),
+        precision=precision,
+        recall=recall,
+        f1=_f1(precision, recall),
+        pair_precision=pair_precision,
+        pair_recall=pair_recall,
+        true_arrays=len(true_sets),
+        extracted_arrays=len(extracted),
+    )

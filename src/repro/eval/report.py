@@ -1,0 +1,76 @@
+"""Plain-text table rendering shared by benches, examples, and the CLI.
+
+Tables are lists of flat dicts (the ``row()`` methods of the metric
+records).  :func:`format_table` aligns columns; :func:`format_series`
+prints (x, y...) figure data as aligned columns so figure benches can emit
+the exact series a plot would show.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping, Sequence
+
+
+def format_table(rows: Sequence[Mapping[str, object]],
+                 title: str | None = None,
+                 columns: Sequence[str] | None = None) -> str:
+    """Render rows as an aligned text table.
+
+    Args:
+        rows: flat record dicts; missing keys render blank.
+        title: optional heading line.
+        columns: column order; defaults to first row's key order.
+    """
+    if not rows:
+        return (title + "\n" if title else "") + "(no rows)"
+    cols = list(columns) if columns else list(rows[0].keys())
+    cells = [[_fmt(r.get(c, "")) for c in cols] for r in rows]
+    widths = [max(len(c), *(len(row[i]) for row in cells))
+              for i, c in enumerate(cols)]
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(c.ljust(w) for c, w in zip(cols, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in cells:
+        lines.append("  ".join(v.ljust(w) for v, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def format_series(points: Iterable[Mapping[str, object]],
+                  title: str | None = None) -> str:
+    """Render figure data (a series of points) as an aligned table."""
+    return format_table(list(points), title=title)
+
+
+def ratio_row(name: str, baseline: float, ours: float,
+              lower_is_better: bool = True) -> dict[str, object]:
+    """A comparison row with improvement percentage."""
+    if baseline <= 0:
+        improvement = 0.0
+    else:
+        improvement = (baseline - ours) / baseline * 100.0
+        if not lower_is_better:
+            improvement = -improvement
+    return {
+        "metric": name,
+        "baseline": round(baseline, 1),
+        "structure_aware": round(ours, 1),
+        "improvement_%": round(improvement, 2),
+    }
+
+
+def geomean(values: Sequence[float]) -> float:
+    """Geometric mean of positive values (0 if any non-positive)."""
+    if not values or any(v <= 0 for v in values):
+        return 0.0
+    product = 1.0
+    for v in values:
+        product *= v
+    return product ** (1.0 / len(values))
+
+
+def _fmt(value: object) -> str:
+    if isinstance(value, float):
+        return f"{value:.3f}".rstrip("0").rstrip(".")
+    return str(value)

@@ -1,0 +1,67 @@
+"""Steiner wirelength estimation.
+
+Routed wirelength tracks the rectilinear Steiner minimal tree (RSMT) far
+better than HPWL for multi-pin nets.  Exact RSMT is NP-hard; this module
+uses the standard academic ladder:
+
+- nets with <= 3 pins: HPWL is *exactly* the RSMT length;
+- larger nets: rectilinear minimum spanning tree (Prim), a guaranteed
+  <= 1.5x overestimate of RSMT (Hwang bound), consistent across compared
+  placements so ratios are meaningful.
+
+:func:`steiner_length` evaluates one pin set; :func:`total_steiner`
+evaluates a whole placement.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..netlist import Netlist
+
+
+def rmst_length(xs: np.ndarray, ys: np.ndarray) -> float:
+    """Rectilinear MST length over points via Prim's algorithm, O(n^2)."""
+    n = len(xs)
+    if n <= 1:
+        return 0.0
+    in_tree = np.zeros(n, dtype=bool)
+    dist = np.abs(xs - xs[0]) + np.abs(ys - ys[0])
+    in_tree[0] = True
+    dist[0] = np.inf
+    total = 0.0
+    for _ in range(n - 1):
+        k = int(np.argmin(dist))
+        total += float(dist[k])
+        in_tree[k] = True
+        new_d = np.abs(xs - xs[k]) + np.abs(ys - ys[k])
+        dist = np.minimum(dist, new_d)
+        dist[in_tree] = np.inf
+    return total
+
+
+def steiner_length(xs: np.ndarray, ys: np.ndarray) -> float:
+    """RSMT estimate for one pin set (exact for <= 3 pins)."""
+    xs = np.asarray(xs, dtype=float)
+    ys = np.asarray(ys, dtype=float)
+    n = len(xs)
+    if n <= 1:
+        return 0.0
+    if n <= 3:
+        return float((xs.max() - xs.min()) + (ys.max() - ys.min()))
+    return rmst_length(xs, ys)
+
+
+def total_steiner(netlist: Netlist, *, use_weights: bool = True,
+                  skip_zero_weight: bool = True) -> float:
+    """Total Steiner-estimate wirelength of a placement."""
+    total = 0.0
+    for net in netlist.nets:
+        if net.degree < 2:
+            continue
+        if skip_zero_weight and net.weight == 0.0:
+            continue
+        pts = np.array([ref.position() for ref in net.pins])
+        length = steiner_length(pts[:, 0], pts[:, 1])
+        total += (net.weight if use_weights else 1.0) * length
+    return float(total)

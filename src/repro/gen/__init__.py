@@ -1,0 +1,38 @@
+"""Synthetic benchmark generation: datapath units, glue logic, suites."""
+
+from .composer import (GeneratedDesign, UnitSpec, compose_design,
+                       datapath_fraction_design)
+from .random_logic import GlueBlock, generate_random_logic
+from .rng import make_rng
+from .suites import (DesignSpec, build_design, design_names, suite,
+                     suite_names)
+from .units import (UNIT_BUILDERS, ArrayTruth, SliceTruth, Unit, UnitContext,
+                    alu, array_multiplier, barrel_shifter, comparator,
+                    pipeline_unit, register_file, ripple_adder)
+
+__all__ = [
+    "ArrayTruth",
+    "DesignSpec",
+    "GeneratedDesign",
+    "GlueBlock",
+    "SliceTruth",
+    "UNIT_BUILDERS",
+    "Unit",
+    "UnitContext",
+    "UnitSpec",
+    "alu",
+    "array_multiplier",
+    "barrel_shifter",
+    "build_design",
+    "comparator",
+    "compose_design",
+    "datapath_fraction_design",
+    "design_names",
+    "generate_random_logic",
+    "make_rng",
+    "pipeline_unit",
+    "register_file",
+    "ripple_adder",
+    "suite",
+    "suite_names",
+]

@@ -1,0 +1,48 @@
+"""Seeded random-number helpers for reproducible benchmark generation.
+
+All stochastic generator code takes a :class:`numpy.random.Generator`
+created via :func:`make_rng` so every benchmark is bit-reproducible from a
+single integer seed.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, TypeVar
+
+import numpy as np
+
+T = TypeVar("T")
+
+
+def make_rng(seed: int | np.random.Generator | None) -> np.random.Generator:
+    """Return a Generator from a seed, passing Generators through unchanged."""
+    if isinstance(seed, np.random.Generator):
+        return seed
+    return np.random.default_rng(seed)
+
+
+def choose(rng: np.random.Generator, items: Sequence[T]) -> T:
+    """Pick one element of a (non-empty) sequence uniformly."""
+    if not items:
+        raise ValueError("cannot choose from an empty sequence")
+    return items[int(rng.integers(len(items)))]
+
+
+def weighted_choice(rng: np.random.Generator, items: Sequence[T],
+                    weights: Sequence[float]) -> T:
+    """Pick one element with the given (unnormalised) weights."""
+    if len(items) != len(weights):
+        raise ValueError("items and weights must have equal length")
+    w = np.asarray(weights, dtype=float)
+    if w.sum() <= 0:
+        raise ValueError("weights must sum to a positive value")
+    idx = int(rng.choice(len(items), p=w / w.sum()))
+    return items[idx]
+
+
+def sample_without_replacement(rng: np.random.Generator, n: int,
+                               k: int) -> list[int]:
+    """k distinct integers from range(n)."""
+    if k > n:
+        raise ValueError(f"cannot sample {k} items from {n}")
+    return [int(i) for i in rng.choice(n, size=k, replace=False)]

@@ -1,0 +1,97 @@
+"""Named benchmark suites used by the reconstructed experiments.
+
+The original DAC 2012 evaluation used industrial datapath benchmarks that
+are not publicly available (and the paper text itself was unavailable to
+this reproduction — see DESIGN.md).  The ``dac2012`` suite below plays the
+same role: a progression of datapath-intensive designs of growing size and
+varying datapath fraction, each reproducible from its seed.
+
+Use :func:`suite` / :func:`build_design` so every experiment, test, and
+example refers to the same definitions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .composer import GeneratedDesign, UnitSpec, compose_design
+
+
+@dataclass(frozen=True)
+class DesignSpec:
+    """Recipe for one named benchmark design."""
+
+    name: str
+    units: tuple[UnitSpec, ...]
+    glue_cells: int
+    seed: int
+    target_utilization: float = 0.7
+
+    def build(self) -> GeneratedDesign:
+        return compose_design(self.name, list(self.units),
+                              glue_cells=self.glue_cells, seed=self.seed,
+                              target_utilization=self.target_utilization)
+
+
+_DAC2012: tuple[DesignSpec, ...] = (
+    # small smoke design: one adder in light glue (~260 cells)
+    DesignSpec("dp_add8", (UnitSpec("ripple_adder", 8),), glue_cells=200,
+               seed=11),
+    # mid: ALU + shifter (~900 cells, ~55% datapath)
+    DesignSpec("dp_alu16", (UnitSpec("alu", 16),
+                            UnitSpec("barrel_shifter", 16)), glue_cells=380,
+               seed=23),
+    # register file + adders (~1.4k cells)
+    DesignSpec("dp_rf16", (UnitSpec("register_file", 16, (("depth", 4),)),
+                           UnitSpec("ripple_adder", 16),
+                           UnitSpec("ripple_adder", 16)), glue_cells=550,
+               seed=37),
+    # multiplier-dominated (~1.6k cells, dense local arrays)
+    DesignSpec("dp_mul16", (UnitSpec("array_multiplier", 16),
+                            UnitSpec("ripple_adder", 16)), glue_cells=420,
+               seed=41),
+    # wide mixed datapath (~3.4k cells)
+    DesignSpec("dp_mix32", (UnitSpec("alu", 32),
+                            UnitSpec("barrel_shifter", 32),
+                            UnitSpec("ripple_adder", 32),
+                            UnitSpec("pipeline", 32, (("depth", 4),)),
+                            UnitSpec("comparator", 32)), glue_cells=900,
+               seed=53),
+    # glue-dominated control design (~2.2k cells, ~15% datapath):
+    # structure awareness should neither help much nor hurt
+    DesignSpec("ctrl_glue2k", (UnitSpec("ripple_adder", 8),
+                               UnitSpec("comparator", 8)),
+               glue_cells=2000, seed=67),
+)
+
+_SUITES: dict[str, tuple[DesignSpec, ...]] = {
+    "dac2012": _DAC2012,
+    # fast subset for unit tests and smoke benches
+    "smoke": _DAC2012[:2],
+}
+
+
+def suite_names() -> list[str]:
+    return sorted(_SUITES)
+
+
+def suite(name: str = "dac2012") -> list[DesignSpec]:
+    """The design specs of a named suite."""
+    try:
+        return list(_SUITES[name])
+    except KeyError:
+        raise ValueError(
+            f"unknown suite {name!r}; known: {suite_names()}") from None
+
+
+def design_names(suite_name: str = "dac2012") -> list[str]:
+    return [spec.name for spec in suite(suite_name)]
+
+
+def build_design(name: str) -> GeneratedDesign:
+    """Build a named design from any suite."""
+    for specs in _SUITES.values():
+        for spec in specs:
+            if spec.name == name:
+                return spec.build()
+    raise ValueError(f"unknown design {name!r}")

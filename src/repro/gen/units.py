@@ -1,0 +1,633 @@
+"""Bit-sliced datapath unit generators.
+
+Each generator builds one datapath *array* inside an existing netlist: ``W``
+parallel bit slices, each slice an ordered list of stages (cells).  The
+generators record ground truth — which cells belong to which array, slice,
+and stage — both on the cells (``dp_array`` / ``dp_slice`` / ``dp_stage``
+attributes) and in the returned :class:`ArrayTruth`.  Extraction algorithms
+must never read those attributes; they exist only so the evaluation can
+score extraction quality quantitatively.
+
+Available units:
+
+- :func:`ripple_adder` — registered ripple-carry adder.
+- :func:`array_multiplier` — carry-save array multiplier.
+- :func:`barrel_shifter` — log-stage mux shifter.
+- :func:`alu` — per-bit logic/arith unit with op-select muxes.
+- :func:`register_file` — D-word register file with read mux tree.
+- :func:`pipeline_unit` — generic depth-stage logic+register pipeline.
+- :func:`comparator` — tree comparator with bit-sliced front end.
+
+All units share the electrical conventions of :class:`UnitContext`: input
+nets are created by the unit and must be driven by the caller; output nets
+are driven by the unit and must be given at least one sink by the caller;
+the clock net is shared and provided by the caller.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..netlist import Cell, Net, Netlist
+
+
+@dataclass
+class SliceTruth:
+    """Ground truth for one bit slice: cell names ordered by stage."""
+
+    cells: list[str] = field(default_factory=list)
+
+
+@dataclass
+class ArrayTruth:
+    """Ground truth for one datapath array.
+
+    Attributes:
+        name: Array name (unique within the design).
+        kind: Generator family (``"ripple_adder"``...).
+        slices: Slice truths ordered by bit index; all slices of one array
+            have the same length (ragged arrays are padded conceptually by
+            the alignment stage, but these generators emit rectangular
+            arrays).
+    """
+
+    name: str
+    kind: str
+    slices: list[SliceTruth] = field(default_factory=list)
+
+    @property
+    def width(self) -> int:
+        return len(self.slices)
+
+    @property
+    def depth(self) -> int:
+        return max((len(s.cells) for s in self.slices), default=0)
+
+    def cell_names(self) -> set[str]:
+        return {name for s in self.slices for name in s.cells}
+
+    @property
+    def num_cells(self) -> int:
+        return sum(len(s.cells) for s in self.slices)
+
+
+@dataclass
+class Unit:
+    """A generated datapath unit and its external interface.
+
+    Attributes:
+        truth: Ground-truth structure record.
+        inputs: Nets the unit reads; the caller must attach a driver to
+            each.
+        outputs: Nets the unit drives; the caller must attach at least one
+            sink to each.
+    """
+
+    truth: ArrayTruth
+    inputs: list[Net] = field(default_factory=list)
+    outputs: list[Net] = field(default_factory=list)
+    extra_truths: list[ArrayTruth] = field(default_factory=list)
+
+    def all_truths(self) -> list[ArrayTruth]:
+        return [self.truth] + self.extra_truths
+
+
+class UnitContext:
+    """Name-spaced construction helper shared by all unit generators.
+
+    Args:
+        netlist: target netlist.
+        prefix: unique instance prefix (also the array name).
+        clock: shared clock net; created lazily against the netlist if
+            omitted.
+    """
+
+    def __init__(self, netlist: Netlist, prefix: str, clock: Net | None = None):
+        self.netlist = netlist
+        self.prefix = prefix
+        if clock is None:
+            clk_name = "clk"
+            clock = (netlist.net(clk_name) if netlist.has_net(clk_name)
+                     else netlist.add_net(clk_name, weight=0.0, clock=True))
+        self.clock = clock
+        self._net_counter = 0
+
+    def cell(self, local: str, master: str, slice_idx: int, stage: int,
+             array: str) -> Cell:
+        """Create a labeled datapath cell ``<prefix>/<local>``."""
+        return self.netlist.add_cell(
+            f"{self.prefix}/{local}", master,
+            dp_array=array, dp_slice=slice_idx, dp_stage=stage)
+
+    def net(self, local: str | None = None, **attrs: object) -> Net:
+        """Create a net ``<prefix>/<local>`` (auto-numbered if unnamed)."""
+        if local is None:
+            local = f"n{self._net_counter}"
+            self._net_counter += 1
+        return self.netlist.add_net(f"{self.prefix}/{local}", **attrs)
+
+    def connect(self, net: Net, cell: Cell, pin: str) -> None:
+        self.netlist.connect(net, cell, pin)
+
+    def clock_cell(self, cell: Cell) -> None:
+        """Attach a sequential cell's CK pin to the shared clock."""
+        self.netlist.connect(self.clock, cell, "CK")
+
+
+def _record(truth: ArrayTruth, slice_idx: int, cell: Cell) -> None:
+    while len(truth.slices) <= slice_idx:
+        truth.slices.append(SliceTruth())
+    truth.slices[slice_idx].cells.append(cell.name)
+
+
+def ripple_adder(ctx: UnitContext, width: int, registered: bool = True) -> Unit:
+    """Registered ripple-carry adder: per bit DFF(a), DFF(b), FA, DFF(s).
+
+    The carry chain couples adjacent slices (FA[i].CO -> FA[i+1].CI); this
+    is exactly the inter-slice structure the extractor exploits to order
+    bits.
+
+    Args:
+        ctx: construction context.
+        width: number of bits (slices); must be >= 2.
+        registered: if False, omit the input/output flops (slices become
+            single-stage, a harder extraction case).
+    """
+    if width < 2:
+        raise ValueError("ripple_adder needs width >= 2")
+    truth = ArrayTruth(name=ctx.prefix, kind="ripple_adder")
+    unit = Unit(truth=truth)
+    carry: Net | None = None
+    for b in range(width):
+        stage = 0
+        a_in = ctx.net(f"a{b}", bus="a", bit=b)
+        b_in = ctx.net(f"b{b}", bus="b", bit=b)
+        unit.inputs += [a_in, b_in]
+        if registered:
+            dff_a = ctx.cell(f"ra{b}", "DFF", b, stage, ctx.prefix)
+            ctx.connect(a_in, dff_a, "D")
+            ctx.clock_cell(dff_a)
+            a_q = ctx.net(f"aq{b}")
+            ctx.connect(a_q, dff_a, "Q")
+            _record(truth, b, dff_a)
+            stage += 1
+            dff_b = ctx.cell(f"rb{b}", "DFF", b, stage, ctx.prefix)
+            ctx.connect(b_in, dff_b, "D")
+            ctx.clock_cell(dff_b)
+            b_q = ctx.net(f"bq{b}")
+            ctx.connect(b_q, dff_b, "Q")
+            _record(truth, b, dff_b)
+            stage += 1
+        else:
+            a_q, b_q = a_in, b_in
+        fa = ctx.cell(f"fa{b}", "FA", b, stage, ctx.prefix)
+        ctx.connect(a_q, fa, "A")
+        ctx.connect(b_q, fa, "B")
+        if carry is None:
+            carry_in = ctx.net("cin", bus="cin")
+            unit.inputs.append(carry_in)
+            ctx.connect(carry_in, fa, "CI")
+        else:
+            ctx.connect(carry, fa, "CI")
+        carry = ctx.net(f"c{b + 1}")
+        ctx.connect(carry, fa, "CO")
+        sum_net = ctx.net(f"s{b}")
+        ctx.connect(sum_net, fa, "S")
+        _record(truth, b, fa)
+        stage += 1
+        if registered:
+            dff_s = ctx.cell(f"rs{b}", "DFF", b, stage, ctx.prefix)
+            ctx.connect(sum_net, dff_s, "D")
+            ctx.clock_cell(dff_s)
+            s_q = ctx.net(f"sq{b}", bus="sum", bit=b)
+            ctx.connect(s_q, dff_s, "Q")
+            _record(truth, b, dff_s)
+            unit.outputs.append(s_q)
+        else:
+            sum_net.attributes.update(bus="sum", bit=b)
+            unit.outputs.append(sum_net)
+    assert carry is not None
+    unit.outputs.append(carry)  # carry-out
+    return unit
+
+
+def array_multiplier(ctx: UnitContext, width: int) -> Unit:
+    """Carry-save array multiplier (width x width partial-product rows).
+
+    Row r (the slice) computes partial products ``a & b[r]`` with AND2 cells
+    and reduces them into the running carry-save sums with FA cells, the
+    classic diagonal array.  Slices have ``2*width`` cells, so even modest
+    widths produce large regular blocks.
+    """
+    if width < 2:
+        raise ValueError("array_multiplier needs width >= 2")
+    truth = ArrayTruth(name=ctx.prefix, kind="array_multiplier")
+    unit = Unit(truth=truth)
+    a_bits = [ctx.net(f"a{i}", bus="a", bit=i) for i in range(width)]
+    b_bits = [ctx.net(f"b{i}", bus="b", bit=i) for i in range(width)]
+    unit.inputs += a_bits + b_bits
+    zero = ctx.net("zero", bus="const")
+    unit.inputs.append(zero)
+
+    # running carry-save vectors entering row r
+    sums: list[Net] = [zero] * width
+    carries: list[Net] = [zero] * width
+    for r in range(width):
+        new_sums: list[Net] = []
+        new_carries: list[Net] = []
+        for c in range(width):
+            stage = 2 * c
+            pp_gate = ctx.cell(f"pp{r}_{c}", "AND2", r, stage, ctx.prefix)
+            ctx.connect(a_bits[c], pp_gate, "A")
+            ctx.connect(b_bits[r], pp_gate, "B")
+            pp_net = ctx.net(f"p{r}_{c}")
+            ctx.connect(pp_net, pp_gate, "Y")
+            _record(truth, r, pp_gate)
+
+            fa = ctx.cell(f"fa{r}_{c}", "FA", r, stage + 1, ctx.prefix)
+            ctx.connect(pp_net, fa, "A")
+            ctx.connect(sums[c], fa, "B")
+            ctx.connect(carries[c], fa, "CI")
+            s_net = ctx.net(f"s{r}_{c}")
+            co_net = ctx.net(f"co{r}_{c}")
+            ctx.connect(s_net, fa, "S")
+            ctx.connect(co_net, fa, "CO")
+            _record(truth, r, fa)
+            new_sums.append(s_net)
+            new_carries.append(co_net)
+        # low sum bit of each row is a product output bit
+        unit.outputs.append(new_sums[0])
+        # the top carry of each row leaves the array
+        unit.outputs.append(new_carries[-1])
+        # shift the carry-save state one bit right for the next row
+        sums = new_sums[1:] + [zero]
+        carries = [zero] + new_carries[:-1]
+    # remaining carry-save state exits as high product bits
+    for net in sums[:-1] + carries[1:]:
+        if net is not zero:
+            unit.outputs.append(net)
+    # deduplicate while preserving order and label the product bus
+    seen: set[int] = set()
+    unit.outputs = [n for n in unit.outputs
+                    if not (id(n) in seen or seen.add(id(n)))]
+    for k, net in enumerate(unit.outputs):
+        net.attributes.setdefault("bus", "p")
+        net.attributes.setdefault("bit", k)
+    return unit
+
+
+def barrel_shifter(ctx: UnitContext, width: int) -> Unit:
+    """Logarithmic barrel shifter: log2(width) mux stages per bit.
+
+    Shift-select nets are shared control across all slices of a stage — a
+    strong regularity cue.  Width is rounded up to a power of two
+    internally for stage count purposes but only ``width`` slices are made.
+    """
+    if width < 2:
+        raise ValueError("barrel_shifter needs width >= 2")
+    stages = max(1, (width - 1).bit_length())
+    truth = ArrayTruth(name=ctx.prefix, kind="barrel_shifter")
+    unit = Unit(truth=truth)
+    data = [ctx.net(f"d{b}", bus="d", bit=b) for b in range(width)]
+    unit.inputs += list(data)
+    selects = [ctx.net(f"sel{s}", bus="sel", bit=s, control=True)
+               for s in range(stages)]
+    unit.inputs += selects
+    current = data
+    for s in range(stages):
+        shift = 1 << s
+        next_nets: list[Net] = []
+        for b in range(width):
+            mux = ctx.cell(f"m{s}_{b}", "MUX2", b, s, ctx.prefix)
+            ctx.connect(current[b], mux, "A")
+            ctx.connect(current[(b + shift) % width], mux, "B")
+            ctx.connect(selects[s], mux, "S")
+            out = ctx.net(f"q{s}_{b}")
+            ctx.connect(out, mux, "Y")
+            _record(truth, b, mux)
+            next_nets.append(out)
+        current = next_nets
+    for b, net in enumerate(current):
+        net.attributes.update(bus="out", bit=b)
+        unit.outputs.append(net)
+    return unit
+
+
+def alu(ctx: UnitContext, width: int) -> Unit:
+    """Per-bit ALU: XOR/AND/OR function gates + FA + MUX4 op select + DFF.
+
+    Six stages per slice; the op-select nets (shared control) and the FA
+    carry chain give both of the extractor's structural cues.
+    """
+    if width < 2:
+        raise ValueError("alu needs width >= 2")
+    truth = ArrayTruth(name=ctx.prefix, kind="alu")
+    unit = Unit(truth=truth)
+    op0 = ctx.net("op0", bus="op", bit=0, control=True)
+    op1 = ctx.net("op1", bus="op", bit=1, control=True)
+    unit.inputs += [op0, op1]
+    carry: Net | None = None
+    for b in range(width):
+        a_in = ctx.net(f"a{b}", bus="a", bit=b)
+        b_in = ctx.net(f"b{b}", bus="b", bit=b)
+        unit.inputs += [a_in, b_in]
+        gate_nets: list[Net] = []
+        for stage, (local, master) in enumerate(
+                [("xor", "XOR2"), ("and", "AND2"), ("or", "OR2")]):
+            g = ctx.cell(f"{local}{b}", master, b, stage, ctx.prefix)
+            ctx.connect(a_in, g, "A")
+            ctx.connect(b_in, g, "B")
+            out = ctx.net(f"{local}o{b}")
+            ctx.connect(out, g, "Y")
+            _record(truth, b, g)
+            gate_nets.append(out)
+        fa = ctx.cell(f"fa{b}", "FA", b, 3, ctx.prefix)
+        ctx.connect(a_in, fa, "A")
+        ctx.connect(b_in, fa, "B")
+        if carry is None:
+            cin = ctx.net("cin")
+            unit.inputs.append(cin)
+            ctx.connect(cin, fa, "CI")
+        else:
+            ctx.connect(carry, fa, "CI")
+        carry = ctx.net(f"c{b + 1}")
+        ctx.connect(carry, fa, "CO")
+        fa_sum = ctx.net(f"fs{b}")
+        ctx.connect(fa_sum, fa, "S")
+        _record(truth, b, fa)
+        mux = ctx.cell(f"sel{b}", "MUX4", b, 4, ctx.prefix)
+        ctx.connect(gate_nets[0], mux, "A")
+        ctx.connect(gate_nets[1], mux, "B")
+        ctx.connect(gate_nets[2], mux, "C")
+        ctx.connect(fa_sum, mux, "D")
+        ctx.connect(op0, mux, "S0")
+        ctx.connect(op1, mux, "S1")
+        mux_out = ctx.net(f"mo{b}")
+        ctx.connect(mux_out, mux, "Y")
+        _record(truth, b, mux)
+        dff = ctx.cell(f"r{b}", "DFF", b, 5, ctx.prefix)
+        ctx.connect(mux_out, dff, "D")
+        ctx.clock_cell(dff)
+        q = ctx.net(f"q{b}", bus="out", bit=b)
+        ctx.connect(q, dff, "Q")
+        _record(truth, b, dff)
+        unit.outputs.append(q)
+    assert carry is not None
+    unit.outputs.append(carry)
+    return unit
+
+
+def register_file(ctx: UnitContext, width: int, depth: int = 4) -> Unit:
+    """depth-word register file: per bit, ``depth`` DFFEs + read mux tree.
+
+    Write-enable nets (one per word) and the clock are shared control.
+    ``depth`` must be a power of two >= 2 so the mux tree is complete.
+    """
+    if width < 2:
+        raise ValueError("register_file needs width >= 2")
+    if depth < 2 or depth & (depth - 1):
+        raise ValueError("register_file depth must be a power of two >= 2")
+    truth = ArrayTruth(name=ctx.prefix, kind="register_file")
+    unit = Unit(truth=truth)
+    wen = [ctx.net(f"we{w}", bus="we", bit=w, control=True)
+           for w in range(depth)]
+    unit.inputs += wen
+    levels = depth.bit_length() - 1
+    rsel = [ctx.net(f"rs{l}", bus="rsel", bit=l, control=True)
+            for l in range(levels)]
+    unit.inputs += rsel
+    for b in range(width):
+        d_in = ctx.net(f"d{b}", bus="d", bit=b)
+        unit.inputs.append(d_in)
+        word_outs: list[Net] = []
+        stage = 0
+        for w in range(depth):
+            ff = ctx.cell(f"w{w}_{b}", "DFFE", b, stage, ctx.prefix)
+            ctx.connect(d_in, ff, "D")
+            ctx.connect(wen[w], ff, "EN")
+            ctx.clock_cell(ff)
+            q = ctx.net(f"q{w}_{b}")
+            ctx.connect(q, ff, "Q")
+            _record(truth, b, ff)
+            word_outs.append(q)
+            stage += 1
+        level_nets = word_outs
+        for l in range(levels):
+            next_nets: list[Net] = []
+            for m in range(len(level_nets) // 2):
+                mux = ctx.cell(f"m{l}_{m}_{b}", "MUX2", b, stage, ctx.prefix)
+                ctx.connect(level_nets[2 * m], mux, "A")
+                ctx.connect(level_nets[2 * m + 1], mux, "B")
+                ctx.connect(rsel[l], mux, "S")
+                out = ctx.net(f"mo{l}_{m}_{b}")
+                ctx.connect(out, mux, "Y")
+                _record(truth, b, mux)
+                next_nets.append(out)
+                stage += 1
+            level_nets = next_nets
+        level_nets[0].attributes.update(bus="rd", bit=b)
+        unit.outputs.append(level_nets[0])
+    return unit
+
+
+def pipeline_unit(ctx: UnitContext, width: int, depth: int = 3,
+                  logic: str = "XOR2") -> Unit:
+    """Generic pipelined datapath: ``depth`` stages of (logic gate + DFF).
+
+    Stage s of bit b combines the previous stage's value with bit b of the
+    stage-s coefficient bus, then registers it: the canonical "datapath
+    texture" for scalability sweeps since width and depth scale freely.
+    """
+    if width < 2 or depth < 1:
+        raise ValueError("pipeline_unit needs width >= 2 and depth >= 1")
+    truth = ArrayTruth(name=ctx.prefix, kind="pipeline")
+    unit = Unit(truth=truth)
+    coeffs = [[ctx.net(f"k{s}_{b}", bus=f"k{s}", bit=b) for b in range(width)]
+              for s in range(depth)]
+    for row in coeffs:
+        unit.inputs += row
+    data = [ctx.net(f"d{b}", bus="d", bit=b) for b in range(width)]
+    unit.inputs += data
+    current = data
+    for s in range(depth):
+        next_nets: list[Net] = []
+        for b in range(width):
+            g = ctx.cell(f"g{s}_{b}", logic, b, 2 * s, ctx.prefix)
+            ctx.connect(current[b], g, "A")
+            ctx.connect(coeffs[s][b], g, "B")
+            g_out = ctx.net(f"go{s}_{b}")
+            ctx.connect(g_out, g, "Y")
+            _record(truth, b, g)
+            ff = ctx.cell(f"r{s}_{b}", "DFF", b, 2 * s + 1, ctx.prefix)
+            ctx.connect(g_out, ff, "D")
+            ctx.clock_cell(ff)
+            q = ctx.net(f"q{s}_{b}")
+            ctx.connect(q, ff, "Q")
+            _record(truth, b, ff)
+            next_nets.append(q)
+        current = next_nets
+    for b, net in enumerate(current):
+        net.attributes.update(bus="out", bit=b)
+        unit.outputs.append(net)
+    return unit
+
+
+def comparator(ctx: UnitContext, width: int) -> Unit:
+    """Equality comparator: bit-sliced XNOR front end + AND reduction tree.
+
+    Only the XNOR front end is bit-sliced (one stage); the reduction tree is
+    irregular glue inside the unit — a deliberately *partial* regular
+    structure that stresses the extractor's filtering.  Tree cells carry no
+    dp labels (they are not part of the regular array).
+    """
+    if width < 2:
+        raise ValueError("comparator needs width >= 2")
+    truth = ArrayTruth(name=ctx.prefix, kind="comparator")
+    unit = Unit(truth=truth)
+    level: list[Net] = []
+    for b in range(width):
+        a_in = ctx.net(f"a{b}", bus="a", bit=b)
+        b_in = ctx.net(f"b{b}", bus="b", bit=b)
+        unit.inputs += [a_in, b_in]
+        g = ctx.cell(f"eq{b}", "XNOR2", b, 0, ctx.prefix)
+        ctx.connect(a_in, g, "A")
+        ctx.connect(b_in, g, "B")
+        out = ctx.net(f"e{b}")
+        ctx.connect(out, g, "Y")
+        _record(truth, b, g)
+        level.append(out)
+    t = 0
+    while len(level) > 1:
+        next_level: list[Net] = []
+        for m in range(0, len(level) - 1, 2):
+            # reduction tree: plain cells, not in the ground-truth array
+            g = ctx.netlist.add_cell(f"{ctx.prefix}/t{t}", "AND2")
+            t += 1
+            ctx.connect(level[m], g, "A")
+            ctx.connect(level[m + 1], g, "B")
+            out = ctx.net()
+            ctx.connect(out, g, "Y")
+            next_level.append(out)
+        if len(level) % 2:
+            next_level.append(level[-1])
+        level = next_level
+    level[0].attributes.update(bus="eq")
+    unit.outputs.append(level[0])
+    return unit
+
+
+def carry_select_adder(ctx: UnitContext, width: int,
+                       block: int = 4) -> Unit:
+    """Carry-select adder: per bit two speculative FAs + a select mux.
+
+    Each ``block``-bit segment computes both carry hypotheses; block
+    carries select via MUX2.  Slices are 3 wide (FA0, FA1, MUX2) plus the
+    block-boundary select muxes — a denser, more irregular adder texture
+    than the ripple design.
+    """
+    if width < 2:
+        raise ValueError("carry_select_adder needs width >= 2")
+    if block < 1:
+        raise ValueError("block must be >= 1")
+    truth = ArrayTruth(name=ctx.prefix, kind="carry_select_adder")
+    unit = Unit(truth=truth)
+    block_carry: Net | None = None
+    c0: Net | None = None
+    c1: Net | None = None
+    for b in range(width):
+        a_in = ctx.net(f"a{b}", bus="a", bit=b)
+        b_in = ctx.net(f"b{b}", bus="b", bit=b)
+        unit.inputs += [a_in, b_in]
+        if b % block == 0:
+            # new block: speculative carries 0 and 1
+            zero = ctx.net(f"z{b}")
+            one = ctx.net(f"o{b}")
+            unit.inputs += [zero, one]
+            c0, c1 = zero, one
+        sums: list[Net] = []
+        for variant, cin in enumerate((c0, c1)):
+            fa = ctx.cell(f"fa{variant}_{b}", "FA", b, variant, ctx.prefix)
+            ctx.connect(a_in, fa, "A")
+            ctx.connect(b_in, fa, "B")
+            assert cin is not None
+            ctx.connect(cin, fa, "CI")
+            s = ctx.net(f"s{variant}_{b}")
+            co = ctx.net(f"co{variant}_{b}")
+            ctx.connect(s, fa, "S")
+            ctx.connect(co, fa, "CO")
+            _record(truth, b, fa)
+            sums.append(s)
+            if variant == 0:
+                c0 = co
+            else:
+                c1 = co
+        mux = ctx.cell(f"m{b}", "MUX2", b, 2, ctx.prefix)
+        ctx.connect(sums[0], mux, "A")
+        ctx.connect(sums[1], mux, "B")
+        if block_carry is None:
+            sel0 = ctx.net("sel0", control=True)
+            unit.inputs.append(sel0)
+            ctx.connect(sel0, mux, "S")
+            block_carry = sel0
+        else:
+            ctx.connect(block_carry, mux, "S")
+        out = ctx.net(f"q{b}", bus="sum", bit=b)
+        ctx.connect(out, mux, "Y")
+        _record(truth, b, mux)
+        unit.outputs.append(out)
+        if (b + 1) % block == 0 and b + 1 < width:
+            # block carry out: select between the speculative carries
+            bmux = ctx.netlist.add_cell(f"{ctx.prefix}/bc{b}", "MUX2")
+            assert c0 is not None and c1 is not None
+            ctx.connect(c0, bmux, "A")
+            ctx.connect(c1, bmux, "B")
+            ctx.connect(block_carry, bmux, "S")
+            nxt = ctx.net(f"bc{b}")
+            ctx.connect(nxt, bmux, "Y")
+            block_carry = nxt
+    assert c0 is not None and c1 is not None
+    unit.outputs += [c0, c1]
+    return unit
+
+
+def mac_unit(ctx: UnitContext, width: int) -> Unit:
+    """Multiply-accumulate: array multiplier feeding a registered adder.
+
+    A hierarchical composite — two coupled arrays under one prefix — used
+    to test extraction on designs whose regular blocks feed each other
+    directly (the situation the bus-coherent composer models between
+    units, here inside one).
+    """
+    if width < 2:
+        raise ValueError("mac_unit needs width >= 2")
+    mul_ctx = UnitContext(ctx.netlist, prefix=f"{ctx.prefix}.mul",
+                          clock=ctx.clock)
+    mul = array_multiplier(mul_ctx, width)
+    add_ctx = UnitContext(ctx.netlist, prefix=f"{ctx.prefix}.acc",
+                          clock=ctx.clock)
+    adder = ripple_adder(add_ctx, width)
+    # product low bits feed the accumulator's 'a' bus
+    a_bus = [n for n in adder.inputs if n.attributes.get("bus") == "a"]
+    used = 0
+    for src, dst in zip(mul.outputs, a_bus):
+        ctx.netlist.merge_nets(src, dst)
+        used += 1
+    # the MAC is two coupled arrays: report both ground-truth records
+    unit = Unit(truth=mul.truth, extra_truths=[adder.truth])
+    unit.inputs = mul.inputs + [n for n in adder.inputs
+                                if n.attributes.get("bus") != "a"]
+    unit.outputs = mul.outputs[used:] + adder.outputs
+    return unit
+
+
+UNIT_BUILDERS = {
+    "ripple_adder": ripple_adder,
+    "array_multiplier": array_multiplier,
+    "barrel_shifter": barrel_shifter,
+    "alu": alu,
+    "register_file": register_file,
+    "pipeline": pipeline_unit,
+    "comparator": comparator,
+    "carry_select_adder": carry_select_adder,
+    "mac": mac_unit,
+}

@@ -1,0 +1,29 @@
+"""Netlist data model: cell library, cells, nets, container, validation."""
+
+from .library import CellType, Library, PinDirection, PinSpec, default_library
+from .cell import Cell
+from .net import Net, PinRef
+from .netlist import Netlist
+from .validate import Severity, Violation, assert_clean, errors, validate
+from .stats import NetlistStats, compute_stats, degree_histogram, fanout_histogram
+
+__all__ = [
+    "Cell",
+    "CellType",
+    "Library",
+    "Net",
+    "Netlist",
+    "NetlistStats",
+    "PinDirection",
+    "PinRef",
+    "PinSpec",
+    "Severity",
+    "Violation",
+    "assert_clean",
+    "compute_stats",
+    "default_library",
+    "degree_histogram",
+    "errors",
+    "fanout_histogram",
+    "validate",
+]

@@ -1,0 +1,88 @@
+"""Cell instances.
+
+A :class:`Cell` is a placed (or yet-to-be-placed) instance of a
+:class:`~repro.netlist.library.CellType`.  Cells carry a mutable position
+(the lower-left corner of their bounding box), a ``fixed`` flag for
+terminals/pre-placed blocks, and an integer ``index`` assigned by the owning
+:class:`~repro.netlist.netlist.Netlist` for fast array-based placement math.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .library import CellType, PinSpec
+
+
+@dataclass
+class Cell:
+    """An instance of a cell master inside a netlist.
+
+    Attributes:
+        name: Instance name, unique within the netlist.
+        cell_type: The master this instance realises.
+        x: X coordinate of the lower-left corner.
+        y: Y coordinate of the lower-left corner.
+        fixed: True if the cell must not be moved by the placer
+            (I/O terminals, pre-placed macros).
+        index: Dense index assigned by the owning netlist; -1 until added.
+        attributes: Free-form metadata (e.g. generator ground-truth labels).
+            Placement and extraction algorithms must not read labels that
+            encode ground truth; they are for evaluation only.
+    """
+
+    name: str
+    cell_type: CellType
+    x: float = 0.0
+    y: float = 0.0
+    fixed: bool = False
+    index: int = -1
+    attributes: dict[str, object] = field(default_factory=dict)
+
+    @property
+    def width(self) -> float:
+        return self.cell_type.width
+
+    @property
+    def height(self) -> float:
+        return self.cell_type.height
+
+    @property
+    def area(self) -> float:
+        return self.cell_type.area
+
+    @property
+    def center_x(self) -> float:
+        return self.x + self.width / 2.0
+
+    @property
+    def center_y(self) -> float:
+        return self.y + self.height / 2.0
+
+    @property
+    def movable(self) -> bool:
+        return not self.fixed
+
+    def set_center(self, cx: float, cy: float) -> None:
+        """Move the cell so its center lands on ``(cx, cy)``."""
+        self.x = cx - self.width / 2.0
+        self.y = cy - self.height / 2.0
+
+    def pin_position(self, pin: PinSpec | str) -> tuple[float, float]:
+        """Absolute position of a pin given the current cell location."""
+        if isinstance(pin, str):
+            pin = self.cell_type.pin(pin)
+        return (self.x + pin.x_offset, self.y + pin.y_offset)
+
+    def overlaps(self, other: "Cell") -> bool:
+        """True if this cell's bounding box overlaps ``other``'s (open sets:
+        abutting cells do not overlap)."""
+        return (self.x < other.x + other.width
+                and other.x < self.x + self.width
+                and self.y < other.y + other.height
+                and other.y < self.y + self.height)
+
+    def __repr__(self) -> str:
+        flag = " fixed" if self.fixed else ""
+        return (f"Cell({self.name!r}, {self.cell_type.name},"
+                f" x={self.x:.1f}, y={self.y:.1f}{flag})")

@@ -1,0 +1,226 @@
+"""Standard-cell library model.
+
+A :class:`CellType` describes a master cell: its name, physical footprint
+(width/height in site units), and its logical pin interface.  A
+:class:`Library` is a named collection of cell types plus the geometry of a
+placement site.  The benchmark generator, the Bookshelf reader, and the
+placer all share this vocabulary.
+
+The default library (:func:`default_library`) is a small, self-consistent
+set of combinational and sequential masters whose widths loosely follow a
+commercial standard-cell library (inverters are narrow, flops are wide).
+Absolute units are arbitrary; only ratios matter for placement quality.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+
+class PinDirection(enum.Enum):
+    """Direction of a logical pin on a cell master."""
+
+    INPUT = "input"
+    OUTPUT = "output"
+    INOUT = "inout"
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"PinDirection.{self.name}"
+
+
+@dataclass(frozen=True)
+class PinSpec:
+    """A logical pin on a cell master.
+
+    Attributes:
+        name: Pin name, unique within the master (e.g. ``"A"``, ``"Y"``).
+        direction: Signal direction.
+        x_offset: Physical x offset of the pin from the cell origin.
+        y_offset: Physical y offset of the pin from the cell origin.
+    """
+
+    name: str
+    direction: PinDirection
+    x_offset: float = 0.0
+    y_offset: float = 0.0
+
+    @property
+    def is_input(self) -> bool:
+        return self.direction is PinDirection.INPUT
+
+    @property
+    def is_output(self) -> bool:
+        return self.direction is PinDirection.OUTPUT
+
+
+@dataclass(frozen=True)
+class CellType:
+    """A cell master: name, footprint, and pin interface.
+
+    Attributes:
+        name: Master name (e.g. ``"NAND2"``).
+        width: Footprint width in library units.
+        height: Footprint height in library units (row height for
+            single-row standard cells).
+        pins: Pin specifications, in declaration order.
+        is_sequential: True for state-holding masters (flops, latches).
+        tag: Free-form functional tag used by generators/extractors to
+            describe the master family (e.g. ``"full_adder"``). The
+            extractor never uses tags for matching; they exist for
+            reporting and debugging.
+    """
+
+    name: str
+    width: float
+    height: float
+    pins: tuple[PinSpec, ...]
+    is_sequential: bool = False
+    tag: str = ""
+
+    def __post_init__(self) -> None:
+        if self.width <= 0 or self.height <= 0:
+            raise ValueError(f"cell type {self.name!r} must have positive size")
+        names = [p.name for p in self.pins]
+        if len(names) != len(set(names)):
+            raise ValueError(f"cell type {self.name!r} has duplicate pin names")
+
+    @property
+    def area(self) -> float:
+        return self.width * self.height
+
+    @property
+    def input_pins(self) -> tuple[PinSpec, ...]:
+        return tuple(p for p in self.pins if p.is_input)
+
+    @property
+    def output_pins(self) -> tuple[PinSpec, ...]:
+        return tuple(p for p in self.pins if p.is_output)
+
+    def pin(self, name: str) -> PinSpec:
+        """Return the pin spec named ``name``.
+
+        Raises:
+            KeyError: if no such pin exists on this master.
+        """
+        for p in self.pins:
+            if p.name == name:
+                return p
+        raise KeyError(f"cell type {self.name!r} has no pin {name!r}")
+
+    def has_pin(self, name: str) -> bool:
+        return any(p.name == name for p in self.pins)
+
+
+@dataclass
+class Library:
+    """A named collection of cell masters plus site geometry.
+
+    Attributes:
+        name: Library name.
+        site_width: Width of one placement site; cell widths should be
+            integer multiples of this for clean legalization.
+        row_height: Height of one placement row; standard cells are this
+            tall.
+    """
+
+    name: str = "lib"
+    site_width: float = 1.0
+    row_height: float = 8.0
+    _types: dict[str, CellType] = field(default_factory=dict)
+
+    def add(self, cell_type: CellType) -> CellType:
+        """Register a master. Re-adding an identical master is a no-op.
+
+        Raises:
+            ValueError: if a *different* master with the same name exists.
+        """
+        existing = self._types.get(cell_type.name)
+        if existing is not None:
+            if existing != cell_type:
+                raise ValueError(
+                    f"library already has a different master named {cell_type.name!r}"
+                )
+            return existing
+        self._types[cell_type.name] = cell_type
+        return cell_type
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._types
+
+    def __getitem__(self, name: str) -> CellType:
+        try:
+            return self._types[name]
+        except KeyError:
+            raise KeyError(f"library {self.name!r} has no master {name!r}") from None
+
+    def __iter__(self):
+        return iter(self._types.values())
+
+    def __len__(self) -> int:
+        return len(self._types)
+
+    def get(self, name: str, default: CellType | None = None) -> CellType | None:
+        return self._types.get(name, default)
+
+    def names(self) -> list[str]:
+        return list(self._types)
+
+
+def _comb(name: str, width: float, inputs: list[str], outputs: list[str],
+          tag: str = "", height: float = 8.0) -> CellType:
+    """Build a combinational master with evenly spread pin offsets."""
+    pins: list[PinSpec] = []
+    n_in = max(len(inputs), 1)
+    for i, pin_name in enumerate(inputs):
+        pins.append(PinSpec(pin_name, PinDirection.INPUT,
+                            x_offset=0.0,
+                            y_offset=height * (i + 1) / (n_in + 1)))
+    n_out = max(len(outputs), 1)
+    for i, pin_name in enumerate(outputs):
+        pins.append(PinSpec(pin_name, PinDirection.OUTPUT,
+                            x_offset=width,
+                            y_offset=height * (i + 1) / (n_out + 1)))
+    return CellType(name, width, height, tuple(pins), is_sequential=False, tag=tag)
+
+
+def _seq(name: str, width: float, inputs: list[str], outputs: list[str],
+         tag: str = "", height: float = 8.0) -> CellType:
+    base = _comb(name, width, inputs, outputs, tag=tag, height=height)
+    return CellType(base.name, base.width, base.height, base.pins,
+                    is_sequential=True, tag=tag)
+
+
+def default_library() -> Library:
+    """Return the default standard-cell library used by the generators.
+
+    Widths are in site units (site_width=1.0); row height is 8.0. The
+    masters cover the gate families the datapath generators need: basic
+    gates, full/half adders, 2:1/4:1 muxes, XOR trees, and D flip-flops.
+    """
+    lib = Library(name="repro_stdlib", site_width=1.0, row_height=8.0)
+    h = lib.row_height
+    lib.add(_comb("INV", 2.0, ["A"], ["Y"], tag="inv", height=h))
+    lib.add(_comb("BUF", 3.0, ["A"], ["Y"], tag="buf", height=h))
+    lib.add(_comb("NAND2", 3.0, ["A", "B"], ["Y"], tag="nand", height=h))
+    lib.add(_comb("NOR2", 3.0, ["A", "B"], ["Y"], tag="nor", height=h))
+    lib.add(_comb("AND2", 4.0, ["A", "B"], ["Y"], tag="and", height=h))
+    lib.add(_comb("OR2", 4.0, ["A", "B"], ["Y"], tag="or", height=h))
+    lib.add(_comb("XOR2", 5.0, ["A", "B"], ["Y"], tag="xor", height=h))
+    lib.add(_comb("XNOR2", 5.0, ["A", "B"], ["Y"], tag="xnor", height=h))
+    lib.add(_comb("AOI21", 5.0, ["A", "B", "C"], ["Y"], tag="aoi", height=h))
+    lib.add(_comb("OAI21", 5.0, ["A", "B", "C"], ["Y"], tag="oai", height=h))
+    lib.add(_comb("NAND3", 4.0, ["A", "B", "C"], ["Y"], tag="nand", height=h))
+    lib.add(_comb("NOR3", 4.0, ["A", "B", "C"], ["Y"], tag="nor", height=h))
+    lib.add(_comb("MUX2", 6.0, ["A", "B", "S"], ["Y"], tag="mux", height=h))
+    lib.add(_comb("MUX4", 10.0, ["A", "B", "C", "D", "S0", "S1"], ["Y"],
+                  tag="mux", height=h))
+    lib.add(_comb("HA", 7.0, ["A", "B"], ["S", "CO"], tag="half_adder", height=h))
+    lib.add(_comb("FA", 9.0, ["A", "B", "CI"], ["S", "CO"], tag="full_adder",
+                  height=h))
+    lib.add(_seq("DFF", 8.0, ["D", "CK"], ["Q"], tag="dff", height=h))
+    lib.add(_seq("DFFE", 10.0, ["D", "CK", "EN"], ["Q"], tag="dffe", height=h))
+    # I/O pseudo-masters used for fixed terminals around the die boundary.
+    lib.add(_comb("PI", 1.0, [], ["Y"], tag="primary_input", height=1.0))
+    lib.add(_comb("PO", 1.0, ["A"], [], tag="primary_output", height=1.0))
+    return lib

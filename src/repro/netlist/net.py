@@ -1,0 +1,117 @@
+"""Nets and pin connections.
+
+A :class:`Net` is a hyperedge connecting :class:`PinRef`\\ s — (cell, pin)
+pairs.  Nets know which of their pins is the driver (the unique output pin,
+when one exists), support weight for weighted-wirelength placement, and
+expose bounding-box queries against the current cell positions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .cell import Cell
+from .library import PinSpec
+
+
+@dataclass(frozen=True)
+class PinRef:
+    """A reference to one pin of one cell instance."""
+
+    cell: Cell
+    pin: PinSpec
+
+    @property
+    def is_driver(self) -> bool:
+        return self.pin.is_output
+
+    def position(self) -> tuple[float, float]:
+        return self.cell.pin_position(self.pin)
+
+    def __repr__(self) -> str:
+        return f"PinRef({self.cell.name}.{self.pin.name})"
+
+
+@dataclass
+class Net:
+    """A hyperedge over cell pins.
+
+    Attributes:
+        name: Net name, unique within the netlist.
+        pins: Connected pins. By convention the driver (output pin), when
+            present, is listed first, but consumers must not rely on order.
+        weight: Net weight for weighted wirelength objectives.
+        index: Dense index assigned by the owning netlist; -1 until added.
+        attributes: Free-form metadata (e.g. ``"bus"``/``"control"`` hints
+            from the generator; evaluation only).
+    """
+
+    name: str
+    pins: list[PinRef] = field(default_factory=list)
+    weight: float = 1.0
+    index: int = -1
+    attributes: dict[str, object] = field(default_factory=dict)
+
+    def add_pin(self, cell: Cell, pin: PinSpec | str) -> PinRef:
+        """Connect ``cell.pin`` to this net and return the reference."""
+        if isinstance(pin, str):
+            pin = cell.cell_type.pin(pin)
+        ref = PinRef(cell, pin)
+        self.pins.append(ref)
+        return ref
+
+    @property
+    def degree(self) -> int:
+        return len(self.pins)
+
+    @property
+    def driver(self) -> PinRef | None:
+        """The unique driving pin, or None if there is no output pin.
+
+        If multiple output pins are connected (illegal but representable),
+        the first one is returned; :mod:`repro.netlist.validate` flags the
+        condition.
+        """
+        for ref in self.pins:
+            if ref.is_driver:
+                return ref
+        return None
+
+    @property
+    def sinks(self) -> list[PinRef]:
+        return [ref for ref in self.pins if not ref.is_driver]
+
+    def cells(self) -> list[Cell]:
+        """Distinct cells on this net, in first-pin order."""
+        seen: set[int] = set()
+        out: list[Cell] = []
+        for ref in self.pins:
+            key = id(ref.cell)
+            if key not in seen:
+                seen.add(key)
+                out.append(ref.cell)
+        return out
+
+    def bounding_box(self) -> tuple[float, float, float, float]:
+        """(xmin, ymin, xmax, ymax) over current pin positions.
+
+        Raises:
+            ValueError: for a net with no pins.
+        """
+        if not self.pins:
+            raise ValueError(f"net {self.name!r} has no pins")
+        xs: list[float] = []
+        ys: list[float] = []
+        for ref in self.pins:
+            px, py = ref.position()
+            xs.append(px)
+            ys.append(py)
+        return (min(xs), min(ys), max(xs), max(ys))
+
+    def hpwl(self) -> float:
+        """Half-perimeter wirelength of this net at current positions."""
+        xmin, ymin, xmax, ymax = self.bounding_box()
+        return (xmax - xmin) + (ymax - ymin)
+
+    def __repr__(self) -> str:
+        return f"Net({self.name!r}, degree={self.degree})"

@@ -1,0 +1,86 @@
+"""Netlist statistics used by reports and the T1 benchmark table."""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+
+import numpy as np
+
+from .netlist import Netlist
+
+
+@dataclass(frozen=True)
+class NetlistStats:
+    """Summary statistics for one netlist.
+
+    ``datapath_cells`` / ``datapath_fraction`` are computed from generator
+    ground-truth labels (``cell.attributes["dp_array"]``) when present, and
+    are zero for unlabeled designs.
+    """
+
+    name: str
+    num_cells: int
+    num_movable: int
+    num_fixed: int
+    num_nets: int
+    num_pins: int
+    avg_net_degree: float
+    max_net_degree: int
+    total_cell_area: float
+    movable_area: float
+    type_histogram: dict[str, int]
+    datapath_cells: int
+    datapath_fraction: float
+
+    def row(self) -> dict[str, object]:
+        """A flat dict suitable for table rendering."""
+        return {
+            "design": self.name,
+            "cells": self.num_cells,
+            "movable": self.num_movable,
+            "nets": self.num_nets,
+            "pins": self.num_pins,
+            "avg_deg": round(self.avg_net_degree, 2),
+            "dp_cells": self.datapath_cells,
+            "dp_frac": round(self.datapath_fraction, 3),
+        }
+
+
+def compute_stats(netlist: Netlist) -> NetlistStats:
+    """Compute :class:`NetlistStats` for a netlist."""
+    degrees = [net.degree for net in netlist.nets if net.degree > 0]
+    type_hist = Counter(cell.cell_type.name for cell in netlist.cells)
+    movable = netlist.movable_cells()
+    dp_cells = sum(1 for c in movable if c.attributes.get("dp_array") is not None)
+    dp_fraction = dp_cells / len(movable) if movable else 0.0
+    return NetlistStats(
+        name=netlist.name,
+        num_cells=netlist.num_cells,
+        num_movable=len(movable),
+        num_fixed=netlist.num_cells - len(movable),
+        num_nets=netlist.num_nets,
+        num_pins=netlist.num_pins,
+        avg_net_degree=float(np.mean(degrees)) if degrees else 0.0,
+        max_net_degree=max(degrees) if degrees else 0,
+        total_cell_area=float(sum(c.area for c in netlist.cells)),
+        movable_area=netlist.total_movable_area(),
+        type_histogram=dict(type_hist),
+        datapath_cells=dp_cells,
+        datapath_fraction=dp_fraction,
+    )
+
+
+def degree_histogram(netlist: Netlist) -> dict[int, int]:
+    """Net-degree histogram: degree -> count."""
+    hist: Counter[int] = Counter(net.degree for net in netlist.nets)
+    return dict(sorted(hist.items()))
+
+
+def fanout_histogram(netlist: Netlist) -> dict[int, int]:
+    """Cell fanout histogram over movable cells: fanout -> count."""
+    hist: Counter[int] = Counter()
+    for cell in netlist.cells:
+        if cell.movable:
+            hist[len(netlist.fanout_cells(cell))] += 1
+    return dict(sorted(hist.items()))

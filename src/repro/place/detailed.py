@@ -1,0 +1,184 @@
+"""Detailed placement: legal-preserving local refinement.
+
+Two passes, both HPWL-greedy and legality-preserving:
+
+- **Global swap** (:func:`global_swap_pass`): for each cell, try swapping
+  with same-width cells near its HPWL-optimal region; accept improving
+  swaps.
+- **Row reorder** (:func:`row_reorder_pass`): within each row, slide a
+  window of ``k`` consecutive cells and try all permutations, keeping the
+  best (branch-free exact for small k).
+
+The driver :func:`detailed_place` alternates the passes until no pass
+improves by more than ``min_gain``.  Cells whose ``frozen`` set membership
+is given (e.g. datapath group members in the structure-aware flow) are
+never moved, so extracted structure survives refinement.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+
+from ..netlist import Cell, Netlist
+from .region import PlacementRegion
+
+
+def _cells_hpwl(netlist: Netlist, cells: list[Cell]) -> float:
+    """Total weighted HPWL of all nets incident to ``cells``."""
+    seen: set[int] = set()
+    total = 0.0
+    for cell in cells:
+        for net in netlist.nets_of(cell):
+            if net.index in seen or net.degree < 2 or net.weight == 0.0:
+                continue
+            seen.add(net.index)
+            total += net.weight * net.hpwl()
+    return total
+
+
+def _swap(a: Cell, b: Cell) -> None:
+    a.x, b.x = b.x, a.x
+    a.y, b.y = b.y, a.y
+
+
+@dataclass
+class DetailedStats:
+    """Improvement accounting for a detailed-placement run."""
+
+    initial_hpwl: float
+    final_hpwl: float
+    swaps_accepted: int = 0
+    reorders_accepted: int = 0
+    passes: int = 0
+
+    @property
+    def gain(self) -> float:
+        if self.initial_hpwl <= 0:
+            return 0.0
+        return (self.initial_hpwl - self.final_hpwl) / self.initial_hpwl
+
+
+def global_swap_pass(netlist: Netlist, *, frozen: set[str] | None = None,
+                     neighborhood: float | None = None) -> int:
+    """One pass of improving same-footprint cell swaps.
+
+    Candidate partners are drawn from cells connected through shared nets
+    (cheap and effective: they are the cells whose positions matter to the
+    same nets).
+
+    Returns:
+        Number of accepted swaps.
+    """
+    frozen = frozen or set()
+    accepted = 0
+    for cell in netlist.movable_cells():
+        if cell.name in frozen:
+            continue
+        # candidate partners: two-hop connected cells with equal footprint
+        candidates: list[Cell] = []
+        for nb in netlist.neighbors(cell):
+            if (nb.movable and nb.name not in frozen
+                    and nb.width == cell.width
+                    and nb.height == cell.height and nb is not cell):
+                candidates.append(nb)
+        if not candidates:
+            continue
+        affected_base = [cell] + candidates
+        for other in candidates:
+            before = _cells_hpwl(netlist, [cell, other])
+            _swap(cell, other)
+            after = _cells_hpwl(netlist, [cell, other])
+            if after + 1e-9 < before:
+                accepted += 1
+            else:
+                _swap(cell, other)  # revert
+        del affected_base
+    return accepted
+
+
+def row_reorder_pass(netlist: Netlist, region: PlacementRegion, *,
+                     window: int = 3,
+                     frozen: set[str] | None = None) -> int:
+    """Exhaustive window reordering within each row.
+
+    Cells in each row are sorted by x; for every window of ``window``
+    consecutive movable cells, all permutations are evaluated with cells
+    re-packed from the window's left edge; the best is kept.
+
+    Returns:
+        Number of accepted reorders.
+    """
+    if window < 2 or window > 5:
+        raise ValueError("window must be in [2, 5]")
+    frozen = frozen or set()
+    rows: dict[int, list[Cell]] = {}
+    for cell in netlist.movable_cells():
+        j = int(round((cell.y - region.y) / region.row_height))
+        rows.setdefault(j, []).append(cell)
+    accepted = 0
+    for j, row_cells in rows.items():
+        row_cells.sort(key=lambda c: c.x)
+        for i in range(len(row_cells) - window + 1):
+            win = row_cells[i:i + window]
+            if any(c.name in frozen for c in win):
+                continue
+            # windows must be contiguous to re-pack safely
+            left = win[0].x
+            right = win[-1].x + win[-1].width
+            if sum(c.width for c in win) > right - left + 1e-9:
+                continue
+            orig = [(c.x, c.y) for c in win]
+            best_perm: tuple[int, ...] | None = None
+            best_cost = _cells_hpwl(netlist, win)
+            for perm in itertools.permutations(range(window)):
+                run = left
+                for pi in perm:
+                    win[pi].x = run
+                    run += win[pi].width
+                cost = _cells_hpwl(netlist, win)
+                if cost + 1e-9 < best_cost:
+                    best_cost = cost
+                    best_perm = perm
+            if best_perm is None:
+                for c, (ox, oy) in zip(win, orig):
+                    c.x, c.y = ox, oy
+            else:
+                run = left
+                for pi in best_perm:
+                    win[pi].x = run
+                    run += win[pi].width
+                accepted += 1
+                row_cells.sort(key=lambda c: c.x)
+    return accepted
+
+
+def detailed_place(netlist: Netlist, region: PlacementRegion, *,
+                   frozen: set[str] | None = None,
+                   max_passes: int = 3,
+                   min_gain: float = 0.002,
+                   window: int = 3) -> DetailedStats:
+    """Alternate swap and reorder passes until convergence.
+
+    Args:
+        netlist: legal placement to refine (modified in place).
+        region: row geometry.
+        frozen: cell names that must not move.
+        max_passes: maximum swap+reorder rounds.
+        min_gain: stop when a full round improves HPWL by less than this
+            fraction.
+        window: row-reorder window size.
+    """
+    stats = DetailedStats(initial_hpwl=netlist.hpwl(),
+                          final_hpwl=netlist.hpwl())
+    for _round in range(max_passes):
+        before = stats.final_hpwl
+        stats.swaps_accepted += global_swap_pass(netlist, frozen=frozen)
+        stats.reorders_accepted += row_reorder_pass(netlist, region,
+                                                    window=window,
+                                                    frozen=frozen)
+        stats.passes += 1
+        stats.final_hpwl = netlist.hpwl()
+        if before <= 0 or (before - stats.final_hpwl) / before < min_gain:
+            break
+    return stats

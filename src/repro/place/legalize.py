@@ -1,0 +1,197 @@
+"""Tetris legalization.
+
+The Tetris heuristic (Hill, US patent 6370673): process cells in order of
+increasing x; for each, scan candidate rows around its global-placement y
+and put it at the leftmost free site at-or-right-of its desired x,
+choosing the row that minimises displacement.  Each row keeps a single
+"frontier" — O(n log n) total, robust, and a fine pre-pass before the
+higher-quality Abacus pass.
+
+Supports *obstacles* (fixed cells inside the core) by pre-advancing row
+frontiers over them, and *reserved stripes* used by the structure-aware
+flow to keep glue out of datapath array real estate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..netlist import Cell, Netlist
+from .region import PlacementRegion
+
+
+@dataclass
+class _RowState:
+    """Per-row occupied intervals, kept sorted and disjoint."""
+
+    y: float
+    x0: float
+    x1: float
+    site: float
+    occupied: list[tuple[float, float]] = field(default_factory=list)
+
+    def first_fit(self, want_x: float, width: float) -> float | None:
+        """Leftmost legal x >= (snap of) want_x - slack, preferring minimal
+        |x - want_x|; returns the chosen x or None if the row is full."""
+        x = max(self.x0, min(want_x, self.x1 - width))
+        x = self.x0 + round((x - self.x0) / self.site) * self.site
+        best: float | None = None
+        best_cost = float("inf")
+        # candidate: at want position pushed right past overlaps
+        cand = x
+        for (a, b) in self.occupied:
+            if cand + width <= a:
+                break
+            if cand < b:
+                cand = b
+        cand = self.x0 + np.ceil((cand - self.x0) / self.site - 1e-9) * self.site
+        if cand + width <= self.x1 + 1e-9:
+            best, best_cost = cand, abs(cand - want_x)
+        # candidate: nearest gap to the left
+        prev_end = self.x0
+        for (a, b) in self.occupied + [(self.x1, self.x1)]:
+            gap_start, gap_end = prev_end, a
+            prev_end = b
+            if gap_end - gap_start + 1e-9 < width:
+                continue
+            gx = min(max(want_x, gap_start), gap_end - width)
+            gx = self.x0 + round((gx - self.x0) / self.site) * self.site
+            gx = min(max(gx, gap_start), gap_end - width)
+            cost = abs(gx - want_x)
+            if cost < best_cost:
+                best, best_cost = gx, cost
+        return best
+
+    def insert(self, x: float, width: float) -> None:
+        """Mark [x, x+width) occupied (assumed non-overlapping)."""
+        iv = (x, x + width)
+        self.occupied.append(iv)
+        self.occupied.sort()
+
+
+@dataclass
+class LegalizeResult:
+    """Summary of a legalization pass."""
+
+    total_displacement: float
+    max_displacement: float
+    failed: list[str] = field(default_factory=list)  # cell names not placed
+
+    @property
+    def ok(self) -> bool:
+        return not self.failed
+
+
+def tetris_legalize(netlist: Netlist, region: PlacementRegion, *,
+                    cells: list[Cell] | None = None,
+                    obstacles: list[Cell] | None = None,
+                    row_search_span: int = 8) -> LegalizeResult:
+    """Legalize ``cells`` (default: all movable) onto the region's rows.
+
+    Positions are updated in place.  Fixed cells inside the core — plus any
+    explicitly supplied ``obstacles`` (e.g. already-legalized datapath
+    groups) — block sites.
+
+    Args:
+        netlist: the design (positions read and written).
+        region: row geometry.
+        cells: subset to legalize; default all movable cells.
+        obstacles: extra blockages beyond fixed cells.
+        row_search_span: rows examined on each side of the desired row.
+
+    Returns:
+        Displacement statistics; ``failed`` lists cells that fit nowhere
+        (pathological utilization).
+    """
+    if cells is None:
+        cells = netlist.movable_cells()
+    rows = [_RowState(y=r.y, x0=r.x, x1=r.x_end, site=r.site_width)
+            for r in region.rows]
+
+    blockers = list(obstacles or [])
+    blockers += [c for c in netlist.fixed_cells()
+                 if region.contains_cell(c.x, c.y, c.width, c.height)
+                 or (c.x < region.x_end and c.x + c.width > region.x
+                     and c.y < region.y_top and c.y + c.height > region.y)]
+    for cell in blockers:
+        j0 = max(int((cell.y - region.y) // region.row_height), 0)
+        j1 = min(int(np.ceil((cell.y + cell.height - region.y)
+                             / region.row_height)) - 1, region.num_rows - 1)
+        for j in range(j0, j1 + 1):
+            a = max(cell.x, rows[j].x0)
+            b = min(cell.x + cell.width, rows[j].x1)
+            if b > a:
+                rows[j].insert(a, b - a)
+
+    order = sorted(cells, key=lambda c: c.x)
+    total_disp = 0.0
+    max_disp = 0.0
+    failed: list[str] = []
+    for cell in order:
+        want_x, want_y = cell.x, cell.center_y
+        base = region.nearest_row(want_y).index
+        best: tuple[float, int, float] | None = None  # (cost, row, x)
+        span = row_search_span
+        while best is None and span <= max(region.num_rows, row_search_span):
+            for dj in range(-span, span + 1):
+                j = base + dj
+                if j < 0 or j >= len(rows):
+                    continue
+                x = rows[j].first_fit(want_x, cell.width)
+                if x is None:
+                    continue
+                dy = abs(rows[j].y + region.row_height / 2.0 - want_y)
+                cost = abs(x - want_x) + dy
+                if best is None or cost < best[0]:
+                    best = (cost, j, x)
+            span *= 2
+        if best is None:
+            failed.append(cell.name)
+            continue
+        cost, j, x = best
+        dx = x - cell.x
+        dy = rows[j].y - cell.y
+        disp = abs(dx) + abs(dy)
+        total_disp += disp
+        max_disp = max(max_disp, disp)
+        cell.x = x
+        cell.y = rows[j].y
+        rows[j].insert(x, cell.width)
+    return LegalizeResult(total_displacement=total_disp,
+                          max_displacement=max_disp, failed=failed)
+
+
+def check_legal(netlist: Netlist, region: PlacementRegion,
+                tol: float = 1e-6) -> list[str]:
+    """Verify a placement is legal.
+
+    Returns a list of human-readable violations: movable cells outside the
+    core, off-row, off-site, or overlapping (pairwise within each row).
+    """
+    problems: list[str] = []
+    by_row: dict[int, list] = {}
+    for cell in netlist.movable_cells():
+        if not region.contains_cell(cell.x, cell.y, cell.width, cell.height,
+                                    tol):
+            problems.append(f"{cell.name}: outside core")
+            continue
+        rel = (cell.y - region.y) / region.row_height
+        if abs(rel - round(rel)) > tol:
+            problems.append(f"{cell.name}: not row-aligned (y={cell.y})")
+        row = region.row_at(cell.y + tol)
+        srel = (cell.x - row.x) / row.site_width
+        if abs(srel - round(srel)) > 1e-4:
+            problems.append(f"{cell.name}: not site-aligned (x={cell.x})")
+        j0 = int(round((cell.y - region.y) / region.row_height))
+        j1 = int(np.ceil((cell.y + cell.height - region.y)
+                         / region.row_height)) - 1
+        for j in range(j0, j1 + 1):
+            by_row.setdefault(j, []).append(cell)
+    for j, row_cells in by_row.items():
+        row_cells.sort(key=lambda c: c.x)
+        for a, b in zip(row_cells, row_cells[1:]):
+            if a.x + a.width > b.x + tol:
+                problems.append(f"overlap in row {j}: {a.name} / {b.name}")
+    return problems

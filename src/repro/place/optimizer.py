@@ -1,0 +1,104 @@
+"""Polak–Ribière conjugate gradient with backtracking line search.
+
+A small, dependency-free nonlinear CG used by the nonlinear placer.  The
+objective callback returns ``(value, grad)`` over a flat parameter vector;
+the optimizer handles restarts (non-descent directions) and an Armijo
+backtracking line search seeded with a Barzilai–Borwein step estimate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+Objective = Callable[[np.ndarray], tuple[float, np.ndarray]]
+
+
+@dataclass
+class CGOptions:
+    max_iterations: int = 100
+    grad_tol: float = 1e-4          # stop on relative gradient-norm decay
+    armijo_c: float = 1e-4
+    backtrack: float = 0.5
+    max_backtracks: int = 20
+    initial_step: float = 1.0
+
+
+@dataclass
+class CGResult:
+    x: np.ndarray
+    value: float
+    iterations: int
+    converged: bool
+    history: list[float]
+
+
+def conjugate_gradient(objective: Objective, x0: np.ndarray,
+                       options: CGOptions | None = None) -> CGResult:
+    """Minimise ``objective`` starting at ``x0``.
+
+    Args:
+        objective: callable returning (value, gradient).
+        x0: starting point (flattened).
+        options: optimizer knobs.
+
+    Returns:
+        Best point found and convergence info.
+    """
+    opts = options or CGOptions()
+    x = x0.astype(float).copy()
+    value, grad = objective(x)
+    direction = -grad
+    g_norm0 = float(np.linalg.norm(grad)) or 1.0
+    step = opts.initial_step
+    history = [value]
+    converged = False
+
+    for it in range(1, opts.max_iterations + 1):
+        g_norm = float(np.linalg.norm(grad))
+        if g_norm / g_norm0 < opts.grad_tol:
+            converged = True
+            break
+        slope = float(grad @ direction)
+        if slope >= 0:  # restart on non-descent direction
+            direction = -grad
+            slope = -g_norm * g_norm
+        # Armijo backtracking
+        t = step
+        new_value, new_grad, new_x = value, grad, x
+        ok = False
+        for _ in range(opts.max_backtracks):
+            cand = x + t * direction
+            cand_value, cand_grad = objective(cand)
+            if cand_value <= value + opts.armijo_c * t * slope:
+                new_value, new_grad, new_x = cand_value, cand_grad, cand
+                ok = True
+                break
+            t *= opts.backtrack
+        if not ok:
+            # stuck: restart steepest descent with a tiny step
+            direction = -grad
+            step = max(step * opts.backtrack, 1e-12)
+            if step <= 1e-12:
+                break
+            continue
+
+        # Polak–Ribière beta with automatic restart (beta clamped >= 0)
+        y = new_grad - grad
+        beta = float(new_grad @ y) / max(float(grad @ grad), 1e-30)
+        beta = max(beta, 0.0)
+        direction = -new_grad + beta * direction
+        # Barzilai–Borwein step seed for the next line search
+        s = new_x - x
+        sy = float(s @ y)
+        if sy > 1e-30:
+            step = float(s @ s) / sy
+        else:
+            step = max(t, 1e-6)
+        x, value, grad = new_x, new_value, new_grad
+        history.append(value)
+
+    return CGResult(x=x, value=value, iterations=len(history) - 1,
+                    converged=converged, history=history)

@@ -1,0 +1,192 @@
+"""SimPL-style quadratic global placement.
+
+The loop alternates:
+
+1. **Lower bound** — solve the B2B quadratic system (wirelength-optimal,
+   overlapping placement), with anchor pseudo-nets pulling toward the last
+   spread solution.
+2. **Upper bound** — spread the lower-bound solution with recursive
+   bisection (:func:`repro.place.spreading.spread_positions`).
+
+Anchor weight grows linearly with iteration, so the two sequences converge
+toward each other; iteration stops when bin overflow drops under the
+target or the iteration budget is exhausted.  This is the SimPL scheme
+(Kim, Lee, Markov) with the bound-to-bound model of Kraftwerk2.
+
+Structure hooks: callers may supply ``extra_pairs_x/y`` (explicit quadratic
+couplings — used by the datapath alignment model) and ``groups`` (rigid
+group ids — used to spread fused slices as units).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .arrays import PlacementArrays
+from .b2b import B2BBuilder
+from .density import overflow
+from .region import BinGrid, PlacementRegion, default_grid
+from .spreading import spread_positions
+from .wirelength import hpwl
+
+
+@dataclass
+class GlobalPlaceOptions:
+    """Knobs for :class:`QuadraticPlacer`.
+
+    Attributes:
+        max_iterations: outer loop budget.
+        target_overflow: stop when normalised overflow falls below this.
+        anchor_alpha: anchor weight ramp slope (weight = alpha * iter).
+        target_utilization: spreading capacity scale.
+        b2b_refresh: rebuild the B2B linearisation every iteration (True)
+            or reuse (False, faster but worse).
+        seed: reserved for stochastic variants.
+    """
+
+    max_iterations: int = 30
+    target_overflow: float = 0.12
+    anchor_alpha: float = 0.015
+    target_utilization: float = 0.9
+    b2b_refresh: bool = True
+    seed: int = 0
+
+
+@dataclass
+class IterationStat:
+    """Progress record for one GP iteration (used by the F1 figure)."""
+
+    iteration: int
+    hpwl_lower: float
+    hpwl_upper: float
+    overflow: float
+    elapsed_s: float
+
+
+@dataclass
+class GlobalPlaceResult:
+    """Output of global placement."""
+
+    x: np.ndarray
+    y: np.ndarray
+    history: list[IterationStat] = field(default_factory=list)
+
+    @property
+    def final_hpwl(self) -> float:
+        return self.history[-1].hpwl_upper if self.history else float("nan")
+
+
+class QuadraticPlacer:
+    """B2B quadratic global placer with spreading anchors.
+
+    Args:
+        arrays: flattened netlist.
+        region: placement region.
+        options: loop knobs.
+        grid: density grid (defaulted from the design size).
+        extra_pairs_x / extra_pairs_y: explicit pair couplings
+            ``(cell_i, cell_j, weight, offset)`` added to every solve —
+            the structure-aware alignment hooks.
+        groups: optional (N,) rigid-group ids for spreading (-1 = free).
+    """
+
+    def __init__(self, arrays: PlacementArrays, region: PlacementRegion,
+                 options: GlobalPlaceOptions | None = None,
+                 grid: BinGrid | None = None,
+                 extra_pairs_x: list[tuple[int, int, float, float]] | None = None,
+                 extra_pairs_y: list[tuple[int, int, float, float]] | None = None,
+                 groups: np.ndarray | None = None,
+                 post_solve=None):
+        self.arrays = arrays
+        self.region = region
+        self.options = options or GlobalPlaceOptions()
+        self.grid = grid or default_grid(region, arrays.netlist)
+        self.extra_pairs_x = extra_pairs_x or []
+        self.extra_pairs_y = extra_pairs_y or []
+        self.groups = groups
+        # post_solve(x, y): in-place projection hook applied after every
+        # solve — used to keep fused rigid groups in formation
+        self.post_solve = post_solve
+        self._builder = B2BBuilder(arrays)
+
+    # ------------------------------------------------------------------
+    def _solve_axis(self, coords: np.ndarray, offsets: np.ndarray,
+                    anchors: np.ndarray | None, anchor_w: float | np.ndarray,
+                    extra: list[tuple[int, int, float, float]]) -> np.ndarray:
+        system = self._builder.build_axis(coords, offsets, anchors=anchors,
+                                          anchor_weight=anchor_w,
+                                          extra_pairs=extra)
+        sol = system.solve(x0=coords[system.cells])
+        out = coords.copy()
+        out[system.cells] = sol
+        return out
+
+    def _clamp(self, x: np.ndarray, y: np.ndarray) -> None:
+        mv = self.arrays.movable
+        half_w = self.arrays.width / 2.0
+        half_h = self.arrays.height / 2.0
+        x[mv] = np.clip(x[mv], self.region.x + half_w[mv],
+                        self.region.x_end - half_w[mv])
+        y[mv] = np.clip(y[mv], self.region.y + half_h[mv],
+                        self.region.y_top - half_h[mv])
+
+    # ------------------------------------------------------------------
+    def place(self, x0: np.ndarray | None = None,
+              y0: np.ndarray | None = None) -> GlobalPlaceResult:
+        """Run global placement from the given (or current) positions."""
+        opts = self.options
+        arrays = self.arrays
+        if x0 is None or y0 is None:
+            x0, y0 = arrays.initial_positions()
+        x, y = x0.copy(), y0.copy()
+
+        # Initial wirelength-only solve from region center start.
+        cx, cy = self.region.center
+        mv = arrays.movable
+        x[mv] = cx
+        y[mv] = cy
+        start = time.perf_counter()
+        x = self._solve_axis(x, arrays.pin_dx, None, 0.0, self.extra_pairs_x)
+        y = self._solve_axis(y, arrays.pin_dy, None, 0.0, self.extra_pairs_y)
+        self._clamp(x, y)
+        if self.post_solve is not None:
+            self.post_solve(x, y)
+
+        history: list[IterationStat] = []
+        anchors_x, anchors_y = x, y
+        for it in range(1, opts.max_iterations + 1):
+            # upper bound: spread the current lower-bound solution
+            anchors_x, anchors_y = spread_positions(
+                arrays, x, y, self.region,
+                target_utilization=opts.target_utilization,
+                groups=self.groups)
+            # convergence is judged on how spread the LOWER bound already
+            # is: the spread solution has ~zero overflow by construction
+            ovf_lower = overflow(arrays, x, y, self.grid)
+            stat = IterationStat(
+                iteration=it,
+                hpwl_lower=hpwl(arrays, x, y),
+                hpwl_upper=hpwl(arrays, anchors_x, anchors_y),
+                overflow=ovf_lower,
+                elapsed_s=time.perf_counter() - start)
+            history.append(stat)
+            if ovf_lower <= opts.target_overflow:
+                break
+            # lower bound: anchored quadratic solve
+            w = opts.anchor_alpha * it
+            x = self._solve_axis(x if opts.b2b_refresh else anchors_x,
+                                 arrays.pin_dx, anchors_x, w,
+                                 self.extra_pairs_x)
+            y = self._solve_axis(y if opts.b2b_refresh else anchors_y,
+                                 arrays.pin_dy, anchors_y, w,
+                                 self.extra_pairs_y)
+            self._clamp(x, y)
+            if self.post_solve is not None:
+                self.post_solve(x, y)
+
+        # final answer: the last spread (upper-bound) solution — it is the
+        # overlap-free one that legalization can realise with small moves
+        return GlobalPlaceResult(x=anchors_x, y=anchors_y, history=history)

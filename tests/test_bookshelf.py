@@ -1,0 +1,93 @@
+"""Round-trip tests for Bookshelf I/O."""
+
+import pytest
+
+from repro.bookshelf import read_bookshelf, write_bookshelf
+from repro.gen import build_design
+from repro.netlist import Netlist, default_library
+from repro.place import PlacementRegion
+
+
+@pytest.fixture
+def small_design():
+    return build_design("dp_add8")
+
+
+class TestRoundTrip:
+    def test_roundtrip_structure(self, small_design, tmp_path):
+        nl, region = small_design.netlist, small_design.region
+        aux = write_bookshelf(nl, region, tmp_path)
+        back = read_bookshelf(aux)
+        assert back.netlist.num_cells == nl.num_cells
+        assert back.netlist.num_nets == nl.num_nets
+        assert back.netlist.num_pins == nl.num_pins
+
+    def test_roundtrip_positions_and_fixed(self, small_design, tmp_path):
+        nl, region = small_design.netlist, small_design.region
+        aux = write_bookshelf(nl, region, tmp_path)
+        back = read_bookshelf(aux)
+        for cell in nl.cells:
+            twin = back.netlist.cell(cell.name)
+            assert twin.x == pytest.approx(cell.x, abs=1e-3)
+            assert twin.y == pytest.approx(cell.y, abs=1e-3)
+            assert twin.fixed == cell.fixed
+            assert twin.width == pytest.approx(cell.width)
+            assert twin.height == pytest.approx(cell.height)
+
+    def test_roundtrip_hpwl_unweighted(self, small_design, tmp_path):
+        """Connectivity + positions round-trip => same unweighted HPWL."""
+        nl, region = small_design.netlist, small_design.region
+
+        def unweighted(n):
+            return sum(net.hpwl() for net in n.nets if net.degree >= 2)
+
+        aux = write_bookshelf(nl, region, tmp_path)
+        back = read_bookshelf(aux)
+        assert unweighted(back.netlist) == pytest.approx(unweighted(nl),
+                                                         rel=1e-6)
+
+    def test_roundtrip_region(self, small_design, tmp_path):
+        nl, region = small_design.netlist, small_design.region
+        aux = write_bookshelf(nl, region, tmp_path)
+        back = read_bookshelf(aux)
+        assert back.region.num_rows == region.num_rows
+        assert back.region.width == pytest.approx(region.width)
+        assert back.region.row_height == pytest.approx(region.row_height)
+
+    def test_net_names_preserved(self, small_design, tmp_path):
+        nl, region = small_design.netlist, small_design.region
+        aux = write_bookshelf(nl, region, tmp_path)
+        back = read_bookshelf(aux)
+        original = {net.name for net in nl.nets}
+        parsed = {net.name for net in back.netlist.nets}
+        assert parsed == original
+
+
+class TestWriterDetails:
+    def test_aux_manifest_lists_four_files(self, small_design, tmp_path):
+        nl, region = small_design.netlist, small_design.region
+        aux = write_bookshelf(nl, region, tmp_path)
+        content = aux.read_text()
+        for ext in (".nodes", ".nets", ".pl", ".scl"):
+            assert ext in content
+
+    def test_terminal_marker(self, tmp_path):
+        lib = default_library()
+        nl = Netlist(name="t", library=lib)
+        a = nl.add_cell("a", "INV")
+        p = nl.add_cell("p", "PI", fixed=True)
+        n = nl.add_net("n")
+        nl.connect(n, p, "Y")
+        nl.connect(n, a, "A")
+        region = PlacementRegion(0, 0, 64, 64, row_height=8)
+        aux = write_bookshelf(nl, region, tmp_path)
+        nodes = (tmp_path / "t.nodes").read_text()
+        assert "terminal" in nodes
+
+
+class TestReaderErrors:
+    def test_missing_component_rejected(self, tmp_path):
+        aux = tmp_path / "x.aux"
+        aux.write_text("RowBasedPlacement : x.nodes x.nets\n")
+        with pytest.raises(ValueError):
+            read_bookshelf(aux)

@@ -1,0 +1,73 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestSuiteCommand:
+    def test_lists_suites(self, capsys):
+        assert main(["suite"]) == 0
+        out = capsys.readouterr().out
+        assert "dac2012" in out
+        assert "dp_alu16" in out
+
+
+class TestGenCommand:
+    def test_writes_bookshelf(self, tmp_path, capsys):
+        assert main(["gen", "--design", "dp_add8",
+                     "--out", str(tmp_path)]) == 0
+        assert (tmp_path / "dp_add8.aux").exists()
+        assert (tmp_path / "dp_add8.nodes").exists()
+        out = capsys.readouterr().out
+        assert "dp_add8" in out
+
+
+class TestExtractCommand:
+    def test_reports_arrays_and_score(self, capsys):
+        assert main(["extract", "--design", "dp_add8"]) == 0
+        out = capsys.readouterr().out
+        assert "extracted" in out
+        assert "vs ground truth" in out
+
+    def test_extract_from_bookshelf(self, tmp_path, capsys):
+        main(["gen", "--design", "dp_add8", "--out", str(tmp_path)])
+        capsys.readouterr()
+        assert main(["extract",
+                     "--aux", str(tmp_path / "dp_add8.aux")]) == 0
+        out = capsys.readouterr().out
+        assert "extracted" in out
+
+
+class TestPlaceCommand:
+    def test_place_both(self, capsys, tmp_path):
+        assert main(["place", "--design", "dp_add8", "--placer", "both",
+                     "--out", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "baseline" in out
+        assert "structure-aware" in out
+        assert (tmp_path / "dp_add8_baseline.aux").exists()
+        assert (tmp_path / "dp_add8_structure-aware.aux").exists()
+
+    def test_place_single(self, capsys):
+        assert main(["place", "--design", "dp_add8",
+                     "--placer", "baseline"]) == 0
+        out = capsys.readouterr().out
+        assert "structure-aware" not in out
+
+
+class TestEvalCommand:
+    def test_eval_runs(self, capsys):
+        assert main(["eval", "--design", "dp_add8"]) == 0
+        out = capsys.readouterr().out
+        assert "placement quality" in out
+
+
+class TestArgErrors:
+    def test_missing_command(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+    def test_bad_placer_choice(self):
+        with pytest.raises(SystemExit):
+            main(["place", "--placer", "nope"])

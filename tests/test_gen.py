@@ -1,0 +1,196 @@
+"""Tests for the benchmark generator: units, glue, composer, suites."""
+
+import pytest
+
+from repro.gen import (UnitSpec, build_design, compose_design,
+                       datapath_fraction_design, design_names,
+                       generate_random_logic, suite, suite_names)
+from repro.gen.units import (UNIT_BUILDERS, UnitContext, alu,
+                             array_multiplier, barrel_shifter, comparator,
+                             pipeline_unit, register_file, ripple_adder)
+from repro.netlist import Netlist, assert_clean, compute_stats, \
+    default_library, validate
+
+
+@pytest.fixture
+def nl():
+    return Netlist(name="unit_test", library=default_library())
+
+
+def _finish(nl, unit):
+    """Give every open interface net (and the clock) a pad so validation
+    passes."""
+    for i, net in enumerate(unit.inputs):
+        pad = nl.add_cell(f"_pi{i}", "PI", fixed=True)
+        nl.connect(net, pad, "Y")
+    for i, net in enumerate(unit.outputs):
+        pad = nl.add_cell(f"_po{i}", "PO", fixed=True)
+        nl.connect(net, pad, "A")
+    if nl.has_net("clk") and nl.net("clk").degree > 0 \
+            and nl.net("clk").driver is None:
+        pad = nl.add_cell("_pi_clk", "PI", fixed=True)
+        nl.connect("clk", pad, "Y")
+    nl.remove_empty_nets()
+
+
+class TestUnits:
+    @pytest.mark.parametrize("kind,params", [
+        ("ripple_adder", {}),
+        ("array_multiplier", {}),
+        ("barrel_shifter", {}),
+        ("alu", {}),
+        ("register_file", {"depth": 4}),
+        ("pipeline", {"depth": 2}),
+        ("comparator", {}),
+    ])
+    def test_unit_is_electrically_clean(self, nl, kind, params):
+        ctx = UnitContext(nl, prefix="u")
+        unit = UNIT_BUILDERS[kind](ctx, 8, **params)
+        _finish(nl, unit)
+        assert_clean(nl)
+
+    def test_ripple_adder_truth_shape(self, nl):
+        ctx = UnitContext(nl, prefix="add")
+        unit = ripple_adder(ctx, 8)
+        assert unit.truth.width == 8
+        assert unit.truth.depth == 4
+        assert unit.truth.num_cells == 32
+
+    def test_ripple_adder_unregistered(self, nl):
+        ctx = UnitContext(nl, prefix="add")
+        unit = ripple_adder(ctx, 8, registered=False)
+        assert unit.truth.depth == 1
+
+    def test_multiplier_cells(self, nl):
+        ctx = UnitContext(nl, prefix="mul")
+        unit = array_multiplier(ctx, 4)
+        # 2 cells per grid position
+        assert unit.truth.num_cells == 2 * 4 * 4
+
+    def test_shifter_stage_count(self, nl):
+        ctx = UnitContext(nl, prefix="sh")
+        unit = barrel_shifter(ctx, 8)
+        assert unit.truth.depth == 3  # log2(8)
+
+    def test_alu_slices(self, nl):
+        ctx = UnitContext(nl, prefix="alu")
+        unit = alu(ctx, 4)
+        assert unit.truth.width == 4
+        assert unit.truth.depth == 6
+
+    def test_register_file_depth_validation(self, nl):
+        ctx = UnitContext(nl, prefix="rf")
+        with pytest.raises(ValueError):
+            register_file(ctx, 8, depth=3)  # not a power of two
+
+    def test_width_validation(self, nl):
+        ctx = UnitContext(nl, prefix="x")
+        with pytest.raises(ValueError):
+            ripple_adder(ctx, 1)
+
+    def test_comparator_tree_cells_unlabeled(self, nl):
+        ctx = UnitContext(nl, prefix="cmp")
+        unit = comparator(ctx, 8)
+        labeled = unit.truth.cell_names()
+        all_cells = {c.name for c in nl.cells if c.name.startswith("cmp/")}
+        assert labeled < all_cells  # tree cells exist but are not truth
+
+    def test_ground_truth_attributes_on_cells(self, nl):
+        ctx = UnitContext(nl, prefix="p")
+        unit = pipeline_unit(ctx, 4, depth=2)
+        for b, s in enumerate(unit.truth.slices):
+            for name in s.cells:
+                cell = nl.cell(name)
+                assert cell.attributes["dp_slice"] == b
+                assert cell.attributes["dp_array"] == "p"
+
+
+class TestRandomLogic:
+    def test_counts_and_cleanliness(self, nl):
+        block = generate_random_logic(nl, 150, seed=3)
+        assert len(block.cells) == 150
+        # single-driver, no dangling except open interface
+        report = validate(nl, allow_undriven=True, allow_dangling=True)
+        from repro.netlist import errors
+        assert errors(report) == []
+
+    def test_reproducible(self):
+        stats = []
+        for _ in range(2):
+            nl = Netlist(library=default_library())
+            generate_random_logic(nl, 100, seed=9)
+            stats.append((nl.num_cells, nl.num_nets, nl.num_pins,
+                          tuple(c.cell_type.name for c in nl.cells)))
+        assert stats[0] == stats[1]
+
+    def test_zero_cells(self, nl):
+        block = generate_random_logic(nl, 0, seed=0)
+        assert block.cells == []
+
+    def test_negative_rejected(self, nl):
+        with pytest.raises(ValueError):
+            generate_random_logic(nl, -1)
+
+
+class TestComposer:
+    def test_compose_clean_and_labeled(self):
+        design = compose_design(
+            "t", [UnitSpec("ripple_adder", 8)], glue_cells=100, seed=1)
+        assert_clean(design.netlist)
+        stats = compute_stats(design.netlist)
+        assert stats.datapath_cells == 32
+
+    def test_reproducible_from_seed(self):
+        a = compose_design("t", [UnitSpec("alu", 8)], glue_cells=50, seed=7)
+        b = compose_design("t", [UnitSpec("alu", 8)], glue_cells=50, seed=7)
+        assert a.netlist.num_cells == b.netlist.num_cells
+        assert a.netlist.num_nets == b.netlist.num_nets
+        pa = a.netlist.positions()
+        pb = b.netlist.positions()
+        assert (pa == pb).all()
+
+    def test_unknown_unit_rejected(self):
+        with pytest.raises(ValueError, match="unknown unit"):
+            compose_design("t", [UnitSpec("frobnicator", 8)])
+
+    def test_fraction_design_hits_target(self):
+        design = datapath_fraction_design("f", 1000, 0.5, seed=2)
+        stats = compute_stats(design.netlist)
+        assert 0.3 < stats.datapath_fraction < 0.7
+
+    def test_fraction_zero_is_pure_glue(self):
+        design = datapath_fraction_design("f0", 300, 0.0, seed=2)
+        stats = compute_stats(design.netlist)
+        assert stats.datapath_cells == 0
+
+    def test_fraction_validation(self):
+        with pytest.raises(ValueError):
+            datapath_fraction_design("f", 100, 1.5)
+
+    def test_movable_cells_start_inside_region(self):
+        design = compose_design("t", [UnitSpec("ripple_adder", 8)],
+                                glue_cells=80, seed=3)
+        region = design.region
+        for c in design.netlist.movable_cells():
+            assert region.contains_cell(c.x, c.y, c.width, c.height, 1e-6)
+
+
+class TestSuites:
+    def test_suite_names(self):
+        assert "dac2012" in suite_names()
+        assert "smoke" in suite_names()
+
+    def test_all_designs_buildable_smoke(self):
+        for spec in suite("smoke"):
+            design = spec.build()
+            assert design.netlist.num_cells > 100
+
+    def test_design_names_unique(self):
+        names = design_names("dac2012")
+        assert len(names) == len(set(names))
+
+    def test_unknown_suite_and_design(self):
+        with pytest.raises(ValueError):
+            suite("nope")
+        with pytest.raises(ValueError):
+            build_design("nope")

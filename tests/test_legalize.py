@@ -1,0 +1,116 @@
+"""Tests for Tetris and Abacus legalization and legality checking."""
+
+import numpy as np
+import pytest
+
+from repro.gen import build_design
+from repro.place import (PlacementArrays, QuadraticPlacer, abacus_legalize,
+                         check_legal, tetris_legalize)
+
+
+@pytest.fixture
+def placed_design():
+    """A globally placed (overlapping) design ready for legalization."""
+    design = build_design("dp_add8")
+    arrays = PlacementArrays.build(design.netlist)
+    result = QuadraticPlacer(arrays, design.region).place()
+    arrays.write_back(result.x, result.y)
+    return design
+
+
+@pytest.mark.parametrize("legalizer", [tetris_legalize, abacus_legalize])
+class TestLegalizers:
+    def test_produces_legal_placement(self, placed_design, legalizer):
+        nl, region = placed_design.netlist, placed_design.region
+        result = legalizer(nl, region)
+        assert result.ok
+        assert check_legal(nl, region) == []
+
+    def test_displacement_reported(self, placed_design, legalizer):
+        nl, region = placed_design.netlist, placed_design.region
+        result = legalizer(nl, region)
+        assert result.total_displacement >= 0
+        assert result.max_displacement <= result.total_displacement
+
+    def test_fixed_cells_untouched(self, placed_design, legalizer):
+        nl, region = placed_design.netlist, placed_design.region
+        before = {c.name: (c.x, c.y) for c in nl.fixed_cells()}
+        legalizer(nl, region)
+        for c in nl.fixed_cells():
+            assert (c.x, c.y) == before[c.name]
+
+    def test_idempotent_on_legal_input(self, placed_design, legalizer):
+        nl, region = placed_design.netlist, placed_design.region
+        legalizer(nl, region)
+        first = {c.name: (c.x, c.y) for c in nl.movable_cells()}
+        result = legalizer(nl, region)
+        assert result.ok
+        moved = sum(1 for c in nl.movable_cells()
+                    if (c.x, c.y) != first[c.name])
+        # already-legal placements should barely move (small displacement)
+        assert result.total_displacement <= 1e-6 or \
+            result.total_displacement < 0.2 * len(first) * 8
+
+    def test_obstacles_respected(self, placed_design, legalizer):
+        nl, region = placed_design.netlist, placed_design.region
+        # park two movable cells as pseudo-obstacles mid-core
+        cells = nl.movable_cells()
+        obstacle_cells = cells[:2]
+        row = region.rows[region.num_rows // 2]
+        x = region.x + region.width / 2.0
+        for k, cell in enumerate(obstacle_cells):
+            cell.x = row.snap_x(x + 20 * k)
+            cell.y = row.y
+        rest = cells[2:]
+        result = legalizer(nl, region, cells=rest,
+                           obstacles=obstacle_cells)
+        assert result.ok
+        for cell in rest:
+            for obs in obstacle_cells:
+                assert not cell.overlaps(obs), \
+                    f"{cell.name} overlaps obstacle {obs.name}"
+
+
+class TestCheckLegal:
+    def test_detects_outside(self, placed_design):
+        nl, region = placed_design.netlist, placed_design.region
+        tetris_legalize(nl, region)
+        victim = nl.movable_cells()[0]
+        victim.x = region.x_end + 50.0
+        problems = check_legal(nl, region)
+        assert any("outside" in p for p in problems)
+
+    def test_detects_off_row(self, placed_design):
+        nl, region = placed_design.netlist, placed_design.region
+        tetris_legalize(nl, region)
+        victim = nl.movable_cells()[0]
+        victim.y += 3.0
+        problems = check_legal(nl, region)
+        assert any("row-aligned" in p for p in problems)
+
+    def test_detects_overlap(self, placed_design):
+        nl, region = placed_design.netlist, placed_design.region
+        tetris_legalize(nl, region)
+        cells = sorted(nl.movable_cells(), key=lambda c: (c.y, c.x))
+        a, b = cells[0], cells[1]
+        if a.y == b.y:  # move b onto a
+            b.x = a.x
+            problems = check_legal(nl, region)
+            assert any("overlap" in p for p in problems)
+
+
+class TestAbacusQuality:
+    def test_abacus_not_worse_than_tetris(self):
+        """Abacus displacement should generally beat Tetris."""
+        d1 = build_design("dp_add8")
+        arrays1 = PlacementArrays.build(d1.netlist)
+        r1 = QuadraticPlacer(arrays1, d1.region).place()
+        arrays1.write_back(r1.x, r1.y)
+        tetris = tetris_legalize(d1.netlist, d1.region)
+
+        d2 = build_design("dp_add8")
+        arrays2 = PlacementArrays.build(d2.netlist)
+        r2 = QuadraticPlacer(arrays2, d2.region).place()
+        arrays2.write_back(r2.x, r2.y)
+        abacus = abacus_legalize(d2.netlist, d2.region)
+        assert abacus.total_displacement <= tetris.total_displacement * 1.2

@@ -1,0 +1,124 @@
+"""Tests for the cell library model."""
+
+import pytest
+
+from repro.netlist import (CellType, Library, PinDirection, PinSpec,
+                           default_library)
+
+
+class TestPinSpec:
+    def test_direction_flags(self):
+        pin_in = PinSpec("A", PinDirection.INPUT)
+        pin_out = PinSpec("Y", PinDirection.OUTPUT)
+        pin_io = PinSpec("Z", PinDirection.INOUT)
+        assert pin_in.is_input and not pin_in.is_output
+        assert pin_out.is_output and not pin_out.is_input
+        assert not pin_io.is_input and not pin_io.is_output
+
+    def test_default_offsets_zero(self):
+        pin = PinSpec("A", PinDirection.INPUT)
+        assert pin.x_offset == 0.0 and pin.y_offset == 0.0
+
+
+class TestCellType:
+    def _make(self, **kwargs):
+        defaults = dict(
+            name="NAND2", width=3.0, height=8.0,
+            pins=(PinSpec("A", PinDirection.INPUT),
+                  PinSpec("B", PinDirection.INPUT),
+                  PinSpec("Y", PinDirection.OUTPUT)))
+        defaults.update(kwargs)
+        return CellType(**defaults)
+
+    def test_area(self):
+        assert self._make().area == 24.0
+
+    def test_pin_lookup(self):
+        ct = self._make()
+        assert ct.pin("A").name == "A"
+        assert ct.has_pin("Y")
+        assert not ct.has_pin("Q")
+
+    def test_pin_lookup_missing_raises(self):
+        with pytest.raises(KeyError):
+            self._make().pin("NOPE")
+
+    def test_input_output_partition(self):
+        ct = self._make()
+        assert [p.name for p in ct.input_pins] == ["A", "B"]
+        assert [p.name for p in ct.output_pins] == ["Y"]
+
+    def test_nonpositive_size_rejected(self):
+        with pytest.raises(ValueError):
+            self._make(width=0.0)
+        with pytest.raises(ValueError):
+            self._make(height=-1.0)
+
+    def test_duplicate_pin_names_rejected(self):
+        with pytest.raises(ValueError):
+            self._make(pins=(PinSpec("A", PinDirection.INPUT),
+                             PinSpec("A", PinDirection.OUTPUT)))
+
+
+class TestLibrary:
+    def test_add_and_lookup(self):
+        lib = Library()
+        ct = CellType("INV", 2.0, 8.0,
+                      (PinSpec("A", PinDirection.INPUT),
+                       PinSpec("Y", PinDirection.OUTPUT)))
+        lib.add(ct)
+        assert "INV" in lib
+        assert lib["INV"] is ct
+        assert len(lib) == 1
+
+    def test_missing_lookup_raises(self):
+        with pytest.raises(KeyError):
+            Library()["MISSING"]
+
+    def test_readd_identical_is_noop(self):
+        lib = Library()
+        ct = CellType("INV", 2.0, 8.0, ())
+        lib.add(ct)
+        lib.add(ct)
+        assert len(lib) == 1
+
+    def test_conflicting_master_rejected(self):
+        lib = Library()
+        lib.add(CellType("INV", 2.0, 8.0, ()))
+        with pytest.raises(ValueError):
+            lib.add(CellType("INV", 3.0, 8.0, ()))
+
+    def test_get_default(self):
+        assert Library().get("X") is None
+
+
+class TestDefaultLibrary:
+    def test_has_expected_masters(self):
+        lib = default_library()
+        for name in ("INV", "NAND2", "XOR2", "MUX2", "MUX4", "FA", "HA",
+                     "DFF", "DFFE", "PI", "PO"):
+            assert name in lib, name
+
+    def test_sequential_flags(self):
+        lib = default_library()
+        assert lib["DFF"].is_sequential
+        assert lib["DFFE"].is_sequential
+        assert not lib["NAND2"].is_sequential
+
+    def test_fa_pin_interface(self):
+        fa = default_library()["FA"]
+        assert {p.name for p in fa.input_pins} == {"A", "B", "CI"}
+        assert {p.name for p in fa.output_pins} == {"S", "CO"}
+
+    def test_all_widths_are_site_multiples(self):
+        lib = default_library()
+        for master in lib:
+            ratio = master.width / lib.site_width
+            assert abs(ratio - round(ratio)) < 1e-9, master.name
+
+    def test_standard_cells_match_row_height(self):
+        lib = default_library()
+        for master in lib:
+            if master.name in ("PI", "PO"):
+                continue
+            assert master.height == lib.row_height, master.name

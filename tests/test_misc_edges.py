@@ -1,0 +1,146 @@
+"""Edge-case tests: Abacus cluster math, RNG helpers, parser tolerance,
+stats, and option plumbing."""
+
+import numpy as np
+import pytest
+
+from repro.gen import make_rng
+from repro.gen.rng import choose, sample_without_replacement, weighted_choice
+from repro.netlist import Netlist, compute_stats, default_library, \
+    degree_histogram, fanout_histogram
+from repro.place.abacus import _Cluster, _Segment
+
+
+class TestAbacusCluster:
+    def test_single_cell_optimum_is_desired(self):
+        lib = default_library()
+        nl = Netlist(library=lib)
+        cell = nl.add_cell("a", "INV")
+        cluster = _Cluster()
+        cluster.add_cell(cell, desired_x=42.0)
+        assert cluster.optimal_x(0.0, 100.0) == pytest.approx(42.0)
+
+    def test_optimum_clamped_to_segment(self):
+        lib = default_library()
+        nl = Netlist(library=lib)
+        cell = nl.add_cell("a", "INV")
+        cluster = _Cluster()
+        cluster.add_cell(cell, desired_x=-50.0)
+        assert cluster.optimal_x(0.0, 100.0) == 0.0
+        cluster2 = _Cluster()
+        cluster2.add_cell(cell, desired_x=500.0)
+        assert cluster2.optimal_x(0.0, 100.0) == 100.0 - cell.width
+
+    def test_merge_preserves_width_and_weight(self):
+        lib = default_library()
+        nl = Netlist(library=lib)
+        a = nl.add_cell("a", "INV")
+        b = nl.add_cell("b", "NAND2")
+        c1 = _Cluster()
+        c1.add_cell(a, 10.0)
+        c2 = _Cluster()
+        c2.add_cell(b, 20.0)
+        c1.merge(c2)
+        assert c1.width == a.width + b.width
+        assert c1.weight == 2.0
+        assert c1.cells == [a, b]
+
+    def test_merged_optimum_between_desires(self):
+        lib = default_library()
+        nl = Netlist(library=lib)
+        a = nl.add_cell("a", "INV")
+        b = nl.add_cell("b", "INV")
+        c1 = _Cluster()
+        c1.add_cell(a, 10.0)
+        c2 = _Cluster()
+        c2.add_cell(b, 30.0)
+        c1.merge(c2)
+        x = c1.optimal_x(0.0, 100.0)
+        assert 10.0 <= x <= 30.0
+
+    def test_segment_rejects_overfull(self):
+        lib = default_library()
+        nl = Netlist(library=lib)
+        seg = _Segment(y=0.0, x0=0.0, x1=5.0, site=1.0)
+        wide = nl.add_cell("w", "MUX4")  # width 10 > 5
+        assert seg.trial_add(wide, 0.0) is None
+
+
+class TestRngHelpers:
+    def test_choose_empty_rejected(self):
+        with pytest.raises(ValueError):
+            choose(make_rng(0), [])
+
+    def test_weighted_choice_validation(self):
+        rng = make_rng(0)
+        with pytest.raises(ValueError):
+            weighted_choice(rng, ["a"], [1.0, 2.0])
+        with pytest.raises(ValueError):
+            weighted_choice(rng, ["a", "b"], [0.0, 0.0])
+
+    def test_sample_without_replacement(self):
+        rng = make_rng(1)
+        out = sample_without_replacement(rng, 10, 5)
+        assert len(set(out)) == 5
+        assert all(0 <= v < 10 for v in out)
+        with pytest.raises(ValueError):
+            sample_without_replacement(rng, 3, 4)
+
+    def test_make_rng_passthrough(self):
+        rng = make_rng(7)
+        assert make_rng(rng) is rng
+
+
+class TestStatsHistograms:
+    @pytest.fixture
+    def small(self):
+        lib = default_library()
+        nl = Netlist(name="h", library=lib)
+        drv = nl.add_cell("drv", "INV")
+        sinks = [nl.add_cell(f"s{i}", "INV") for i in range(3)]
+        fan = nl.add_net("fan")
+        nl.connect(fan, drv, "Y")
+        for s in sinks:
+            nl.connect(fan, s, "A")
+        out = nl.add_net("out")
+        nl.connect(out, sinks[0], "Y")
+        nl.connect(out, drv, "A")
+        return nl
+
+    def test_degree_histogram(self, small):
+        hist = degree_histogram(small)
+        assert hist[4] == 1
+        assert hist[2] == 1
+
+    def test_fanout_histogram(self, small):
+        hist = fanout_histogram(small)
+        assert hist[3] == 1  # drv drives 3 distinct cells
+
+    def test_stats_type_histogram(self, small):
+        stats = compute_stats(small)
+        assert stats.type_histogram == {"INV": 4}
+        assert stats.datapath_cells == 0
+
+
+class TestOptionPlumbing:
+    def test_baseline_inherits_engine(self):
+        from repro.core import BaselinePlacer, PlacerOptions
+        base = BaselinePlacer(PlacerOptions(engine="nonlinear"))
+        assert base.options.engine == "nonlinear"
+        assert base.options.structure_weight == 0.0
+        assert base.options.structure_legalization == "none"
+
+    def test_default_options(self):
+        from repro.core import PlacerOptions
+        opts = PlacerOptions()
+        assert opts.engine == "quadratic"
+        assert opts.structure_legalization == "slices"
+        assert not opts.use_fusion
+        assert opts.use_alignment
+
+    def test_cli_structure_weight_flag(self, capsys):
+        from repro.cli import main
+        assert main(["place", "--design", "dp_add8",
+                     "--placer", "structure",
+                     "--structure-weight", "0.5"]) == 0
+        assert "structure-aware" in capsys.readouterr().out

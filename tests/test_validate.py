@@ -1,0 +1,106 @@
+"""Tests for netlist validation."""
+
+import pytest
+
+from repro.netlist import (Netlist, Severity, assert_clean, default_library,
+                           errors, validate)
+
+
+@pytest.fixture
+def lib():
+    return default_library()
+
+
+def _codes(violations):
+    return {v.code for v in violations}
+
+
+class TestValidate:
+    def test_clean_netlist(self, lib):
+        nl = Netlist(library=lib)
+        a = nl.add_cell("a", "INV")
+        b = nl.add_cell("b", "INV")
+        n = nl.add_net("n")
+        nl.connect(n, a, "Y")
+        nl.connect(n, b, "A")
+        assert validate(nl) == []
+        assert_clean(nl)  # must not raise
+
+    def test_empty_net(self, lib):
+        nl = Netlist(library=lib)
+        nl.add_net("empty")
+        assert "empty-net" in _codes(validate(nl))
+
+    def test_dangling_net(self, lib):
+        nl = Netlist(library=lib)
+        a = nl.add_cell("a", "INV")
+        n = nl.add_net("n")
+        nl.connect(n, a, "Y")
+        assert "dangling-net" in _codes(validate(nl))
+
+    def test_allow_dangling_demotes(self, lib):
+        nl = Netlist(library=lib)
+        a = nl.add_cell("a", "INV")
+        n = nl.add_net("n")
+        nl.connect(n, a, "Y")
+        report = validate(nl, allow_dangling=True)
+        assert all(v.severity is Severity.WARNING for v in report)
+        assert errors(report) == []
+
+    def test_multi_driven(self, lib):
+        nl = Netlist(library=lib)
+        a = nl.add_cell("a", "INV")
+        b = nl.add_cell("b", "INV")
+        c = nl.add_cell("c", "INV")
+        n = nl.add_net("n")
+        nl.connect(n, a, "Y")
+        nl.connect(n, b, "Y")
+        nl.connect(n, c, "A")
+        assert "multi-driven" in _codes(validate(nl))
+
+    def test_undriven(self, lib):
+        nl = Netlist(library=lib)
+        a = nl.add_cell("a", "INV")
+        b = nl.add_cell("b", "INV")
+        n = nl.add_net("n")
+        nl.connect(n, a, "A")
+        nl.connect(n, b, "A")
+        report = validate(nl)
+        assert "undriven-net" in _codes(report)
+        assert errors(report)
+        demoted = validate(nl, allow_undriven=True)
+        assert errors(demoted) == []
+
+    def test_duplicate_pin_on_net(self, lib):
+        nl = Netlist(library=lib)
+        a = nl.add_cell("a", "NAND2")
+        d = nl.add_cell("d", "INV")
+        n = nl.add_net("n")
+        nl.connect(n, d, "Y")
+        nl.connect(n, a, "A")
+        nl.connect(n, a, "A")
+        assert "duplicate-pin" in _codes(validate(nl))
+
+    def test_pin_on_two_nets(self, lib):
+        nl = Netlist(library=lib)
+        a = nl.add_cell("a", "INV")
+        d1 = nl.add_cell("d1", "INV")
+        d2 = nl.add_cell("d2", "INV")
+        n1 = nl.add_net("n1")
+        nl.connect(n1, d1, "Y")
+        nl.connect(n1, a, "A")
+        n2 = nl.add_net("n2")
+        nl.connect(n2, d2, "Y")
+        nl.connect(n2, a, "A")
+        assert "pin-on-two-nets" in _codes(validate(nl))
+
+    def test_assert_clean_raises_with_details(self, lib):
+        nl = Netlist(name="bad", library=lib)
+        nl.add_net("empty")
+        with pytest.raises(ValueError, match="empty-net"):
+            assert_clean(nl)
+
+    def test_generated_designs_are_clean(self):
+        from repro.gen import build_design
+        design = build_design("dp_add8")
+        assert_clean(design.netlist)
