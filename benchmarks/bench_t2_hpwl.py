@@ -18,16 +18,12 @@ def _run_t2() -> str:
     rows = []
     ratios = []
     for name in T2_DESIGNS:
-        base_out, _base_rep, _d1 = placed(name, "baseline")
-        struct_out, _struct_rep, _d2 = placed(name, "structure")
+        base_out, _base_rep, base_design = placed(name, "baseline")
+        struct_out, _struct_rep, struct_design = placed(name, "structure")
         imp = (base_out.hpwl_final - struct_out.hpwl_final) \
             / base_out.hpwl_final * 100.0
         ratios.append(struct_out.hpwl_final / base_out.hpwl_final)
-        slices = [[c.name for c in s]
-                  for a in struct_out.extraction.arrays
-                  for s in a.slices] if struct_out.extraction else []
-        base_design = placed(name, "baseline")[2]
-        struct_design = placed(name, "structure")[2]
+        slices = struct_out.slices
         rows.append({
             "design": name,
             "baseline_hpwl": round(base_out.hpwl_final, 0),

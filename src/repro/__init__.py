@@ -13,7 +13,9 @@ caveat).  The package provides:
   (:mod:`repro.place`);
 - the paper's contribution: automatic datapath extraction and
   structure-aware placement (:mod:`repro.core`);
-- evaluation metrics and reporting (:mod:`repro.eval`).
+- evaluation metrics and reporting (:mod:`repro.eval`);
+- a batch execution runtime — parallel job fan-out, durable artifact
+  caching, structured telemetry (:mod:`repro.runtime`).
 
 Quickstart::
 
@@ -36,24 +38,32 @@ from .gen import (GeneratedDesign, UnitSpec, build_design, compose_design,
 from .netlist import (Cell, CellType, Library, Net, Netlist, compute_stats,
                       default_library)
 from .place import PlacementRegion, region_for
+from .runtime import (ArtifactCache, BatchExecutor, JobResult,
+                      PlacementJob, SuiteResult, Tracer, run_suite)
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
+    "ArtifactCache",
     "BaselinePlacer",
+    "BatchExecutor",
     "Cell",
     "CellType",
     "ExtractionOptions",
     "ExtractionResult",
     "GeneratedDesign",
+    "JobResult",
     "Library",
     "Net",
     "Netlist",
     "PlaceOutcome",
+    "PlacementJob",
     "PlacementRegion",
     "PlacementReport",
     "PlacerOptions",
     "StructureAwarePlacer",
+    "SuiteResult",
+    "Tracer",
     "UnitSpec",
     "build_design",
     "compose_design",
@@ -65,6 +75,7 @@ __all__ = [
     "extract_datapaths",
     "format_table",
     "region_for",
+    "run_suite",
     "score_extraction",
     "suite",
     "total_steiner",

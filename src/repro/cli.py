@@ -5,16 +5,21 @@ Subcommands::
     repro-place gen      --design dp_alu16 --out DIR      # emit Bookshelf
     repro-place extract  --design dp_alu16                # extraction report
     repro-place place    --design dp_alu16 --placer both  # run placers
+    repro-place run      --suite dac2012 --workers 4      # batch runtime
     repro-place eval     --aux design.aux                 # evaluate a bundle
     repro-place suite                                     # list suite designs
 
 Designs come from the named benchmark suites (see
 :mod:`repro.gen.suites`); ``--aux`` accepts any Bookshelf bundle.
+``place`` and ``run`` share the batch runtime (:mod:`repro.runtime`):
+jobs fan out over ``--workers`` processes, ``run`` additionally keeps a
+durable artifact cache and can emit a JSONL telemetry trace.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 
 from .bookshelf import read_bookshelf, write_bookshelf
@@ -23,6 +28,13 @@ from .core import BaselinePlacer, PlacerOptions, StructureAwarePlacer, \
 from .eval import evaluate_placement, format_table, score_extraction
 from .gen import build_design, design_names, suite_names
 from .netlist import compute_stats
+from .runtime import apply_positions, run_suite
+
+_PLACER_SETS = {
+    "baseline": ("baseline",),
+    "structure": ("structure",),
+    "both": ("baseline", "structure"),
+}
 
 
 def _load(args: argparse.Namespace):
@@ -32,6 +44,21 @@ def _load(args: argparse.Namespace):
         return design.netlist, design.region, None
     generated = build_design(args.design)
     return generated.netlist, generated.region, generated.truth
+
+
+def _emit(rows: list[dict], title: str, as_json: bool) -> None:
+    if as_json:
+        print(json.dumps(rows, indent=2, sort_keys=True))
+    else:
+        print(format_table(rows, title=title))
+
+
+def _placer_options(args: argparse.Namespace) -> PlacerOptions:
+    return PlacerOptions(
+        structure_weight=args.structure_weight,
+        structure_legalization=args.legalization,
+        seed=args.seed,
+    )
 
 
 def _cmd_suite(_args: argparse.Namespace) -> int:
@@ -60,26 +87,78 @@ def _cmd_extract(args: argparse.Namespace) -> int:
 
 
 def _cmd_place(args: argparse.Namespace) -> int:
+    placers = _PLACER_SETS[args.placer]
+    options = _placer_options(args)
+    if args.aux:
+        return _place_aux(args, placers, options)
+    # suite designs route through the batch runtime so --workers applies
+    suite_result = run_suite([args.design], placers, workers=args.workers,
+                             seed=args.seed, options=options)
     rows = []
-    placers = {
-        "baseline": [BaselinePlacer],
-        "structure": [StructureAwarePlacer],
-        "both": [BaselinePlacer, StructureAwarePlacer],
-    }[args.placer]
-    for placer_cls in placers:
+    for result in suite_result.results:
+        if not result.ok:
+            print(f"error: {result.job.label}: {result.error}",
+                  file=sys.stderr)
+            return 1
+        rows.append(result.row())
+        if args.out:
+            design = build_design(args.design)
+            apply_positions(design.netlist, result.positions)
+            write_bookshelf(
+                design.netlist, design.region, args.out,
+                design=f"{design.netlist.name}_{result.placer_name}")
+    _emit(rows, "placement results", args.json)
+    return 0
+
+
+def _place_aux(args: argparse.Namespace, placers: tuple[str, ...],
+               options: PlacerOptions) -> int:
+    """Bookshelf bundles cannot be rebuilt inside a worker, so --aux
+    placements always run serially in-process."""
+    rows = []
+    classes = {"baseline": BaselinePlacer, "structure": StructureAwarePlacer}
+    for name in placers:
         netlist, region, _truth = _load(args)
-        options = PlacerOptions(structure_weight=args.structure_weight)
-        outcome = placer_cls(options).place(netlist, region)
-        row = outcome.row()
+        outcome = classes[name](options).place(netlist, region)
         report = evaluate_placement(netlist, region)
+        row = outcome.row()
         row["steiner"] = round(report.steiner, 1)
         row["rudy_max"] = round(report.congestion.max, 3)
         rows.append(row)
         if args.out:
             write_bookshelf(netlist, region, args.out,
                             design=f"{netlist.name}_{outcome.placer}")
-    print(format_table(rows, title="placement results"))
+    _emit(rows, "placement results", args.json)
     return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    cache_dir = None if args.no_cache else args.cache_dir
+    suite_result = run_suite(
+        args.designs or None,
+        _PLACER_SETS[args.placer],
+        suite=args.suite,
+        workers=args.workers,
+        seed=args.seed,
+        options=_placer_options(args),
+        cache_dir=cache_dir,
+        trace_path=args.trace,
+        timeout_s=args.timeout,
+        retries=args.retries,
+    )
+    _emit(suite_result.rows(), f"suite {args.suite}", args.json)
+    if not args.json:
+        counters = suite_result.counters
+        print(f"jobs={counters.get('executor.jobs', 0)} "
+              f"placed={counters.get('placer.invocations', 0)} "
+              f"cache_hits={counters.get('cache.hit', 0)} "
+              f"failures={counters.get('executor.failures', 0)}")
+        if suite_result.trace_path:
+            print(f"trace written to {suite_result.trace_path}")
+    for failure in suite_result.failures:
+        print(f"error: {failure.job.label}: {failure.error}",
+              file=sys.stderr)
+    return 0 if suite_result.ok else 1
 
 
 def _cmd_eval(args: argparse.Namespace) -> int:
@@ -93,6 +172,9 @@ def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro-place",
         description="Structure-aware placement reproduction toolkit")
+    from . import __version__
+    parser.add_argument("--version", action="version",
+                        version=f"%(prog)s {__version__}")
     sub = parser.add_subparsers(dest="command", required=True)
 
     sub.add_parser("suite", help="list benchmark designs")
@@ -105,6 +187,20 @@ def main(argv: list[str] | None = None) -> int:
             p.add_argument("--aux", default=None,
                            help="Bookshelf .aux bundle instead of --design")
 
+    def add_placer_args(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--placer", default="both",
+                       choices=sorted(_PLACER_SETS))
+        p.add_argument("--structure-weight", type=float, default=1.0)
+        p.add_argument("--legalization", default="slices",
+                       choices=["slices", "blocks", "none"],
+                       help="structure-preserving legalization mode")
+        p.add_argument("--seed", type=int, default=0,
+                       help="run seed (part of the cache key)")
+        p.add_argument("--workers", type=int, default=0,
+                       help="process-pool size (0 = serial in-process)")
+        p.add_argument("--json", action="store_true",
+                       help="emit results as JSON instead of a table")
+
     p_gen = sub.add_parser("gen", help="emit a design as Bookshelf files")
     add_design_args(p_gen, with_aux=False)
     p_gen.add_argument("--out", required=True, help="output directory")
@@ -114,11 +210,27 @@ def main(argv: list[str] | None = None) -> int:
 
     p_place = sub.add_parser("place", help="run placement")
     add_design_args(p_place)
-    p_place.add_argument("--placer", default="both",
-                         choices=["baseline", "structure", "both"])
-    p_place.add_argument("--structure-weight", type=float, default=1.0)
+    add_placer_args(p_place)
     p_place.add_argument("--out", default=None,
                          help="write placed Bookshelf bundles here")
+
+    p_run = sub.add_parser(
+        "run", help="batch-place a suite through the parallel runtime")
+    p_run.add_argument("--suite", default="dac2012",
+                       help="named suite to run")
+    p_run.add_argument("--designs", nargs="*", default=None,
+                       help="explicit design names (overrides --suite)")
+    add_placer_args(p_run)
+    p_run.add_argument("--cache-dir", default=".repro-cache",
+                       help="durable artifact cache directory")
+    p_run.add_argument("--no-cache", action="store_true",
+                       help="disable the artifact cache")
+    p_run.add_argument("--trace", default=None,
+                       help="write a JSONL telemetry trace here")
+    p_run.add_argument("--timeout", type=float, default=None,
+                       help="per-job timeout in seconds (parallel mode)")
+    p_run.add_argument("--retries", type=int, default=1,
+                       help="retry budget for crashing jobs")
 
     p_eval = sub.add_parser("eval", help="evaluate current placement")
     add_design_args(p_eval)
@@ -129,6 +241,7 @@ def main(argv: list[str] | None = None) -> int:
         "gen": _cmd_gen,
         "extract": _cmd_extract,
         "place": _cmd_place,
+        "run": _cmd_run,
         "eval": _cmd_eval,
     }
     return handlers[args.command](args)

@@ -21,10 +21,10 @@ stripping them before extraction).
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, field
 
 from ..netlist import Netlist
+from ..runtime.telemetry import Tracer
 from .arrays import (ExtractedArray, absorb_adjacent, arrays_from_columns,
                      arrays_from_slices)
 from .bundles import control_columns, detect_clock_nets, edge_bundles
@@ -94,20 +94,30 @@ class ExtractionResult:
 
 
 def extract_datapaths(netlist: Netlist,
-                      options: ExtractionOptions | None = None
-                      ) -> ExtractionResult:
+                      options: ExtractionOptions | None = None,
+                      tracer: Tracer | None = None) -> ExtractionResult:
     """Recover datapath arrays from a flat netlist.
 
     Args:
         netlist: the design; only connectivity and master types are read.
         options: tuning knobs.
+        tracer: telemetry hook; the whole run is one ``extract`` phase
+            and ``elapsed_s`` comes from its timer.
 
     Returns:
         The extraction result with arrays sorted largest-first.
     """
     opts = options or ExtractionOptions()
-    start = time.perf_counter()
+    tracer = tracer or Tracer()
+    with tracer.phase("extract", design=netlist.name) as ph:
+        final, num_slices = _extract(netlist, opts)
+        tracer.incr("extract.arrays", len(final))
+    return ExtractionResult(arrays=final, elapsed_s=ph.elapsed_s,
+                            num_slices_considered=num_slices)
 
+
+def _extract(netlist: Netlist, opts: ExtractionOptions
+             ) -> tuple[list[ExtractedArray], int]:
     clocks = detect_clock_nets(netlist, frac=opts.clock_frac)
     bundles = edge_bundles(netlist, small_net_max=opts.small_net_max,
                            min_count=opts.min_bundle_count,
@@ -159,6 +169,4 @@ def extract_datapaths(netlist: Netlist,
 
     for i, a in enumerate(final):
         a.name = f"dp{i}"
-    return ExtractionResult(arrays=final,
-                            elapsed_s=time.perf_counter() - start,
-                            num_slices_considered=len(slices))
+    return final, len(slices)

@@ -18,12 +18,12 @@ Ablation switches (``use_fusion``, ``use_alignment``,
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, field
 
 import numpy as np
 
 from ..netlist import Netlist
+from ..runtime.telemetry import Tracer
 from ..place.abacus import abacus_legalize
 from ..place.arrays import PlacementArrays
 from ..place.detailed import detailed_place
@@ -373,13 +373,14 @@ def optimize_flips(netlist: Netlist, plans: list[ArrayPlan], *,
 # ----------------------------------------------------------------------
 
 def _run_engine(arrays: PlacementArrays, region: PlacementRegion,
-                options: PlacerOptions, forces, groups, post_solve=None):
+                options: PlacerOptions, forces, groups, post_solve=None,
+                tracer: Tracer | None = None):
     if options.engine == "quadratic":
         placer = QuadraticPlacer(
             arrays, region, options=options.gp,
             extra_pairs_x=forces.pairs_x if forces else None,
             extra_pairs_y=forces.pairs_y if forces else None,
-            groups=groups, post_solve=post_solve)
+            groups=groups, post_solve=post_solve, tracer=tracer)
         result = placer.place()
         return result.x, result.y, result.history
     if options.engine == "nonlinear":
@@ -407,65 +408,82 @@ class StructureAwarePlacer:
     def __init__(self, options: PlacerOptions | None = None):
         self.options = options or PlacerOptions()
 
-    def place(self, netlist: Netlist, region: PlacementRegion
-              ) -> PlaceOutcome:
-        """Place the netlist in-place and return the outcome record."""
+    def place(self, netlist: Netlist, region: PlacementRegion, *,
+              tracer: Tracer | None = None) -> PlaceOutcome:
+        """Place the netlist in-place and return the outcome record.
+
+        Args:
+            netlist: the design; cell positions are mutated.
+            region: placement region.
+            tracer: telemetry hook — every stage runs under a nested
+                phase (``extract``/``global_place``/``legalize``/
+                ``detailed``) and all reported ``*_s`` figures come from
+                its clock.
+        """
         opts = self.options
-        t0 = time.perf_counter()
+        tracer = tracer or Tracer()
+        with tracer.phase("place", placer=self.name,
+                          design=netlist.name) as ph_all:
+            extraction = extract_datapaths(netlist, opts.extraction,
+                                           tracer=tracer)
 
-        extraction = extract_datapaths(netlist, opts.extraction)
-        t_extract = time.perf_counter()
+            with tracer.phase("global_place", engine=opts.engine) as ph_gp:
+                plans = plan_arrays(extraction.arrays, region)
+                arrays = PlacementArrays.build(netlist)
+                forces = build_alignment(
+                    plans, arrays,
+                    structure_weight=opts.structure_weight) \
+                    if opts.use_alignment else None
+                groups = group_ids(plans, arrays.num_cells) \
+                    if opts.use_fusion else None
+                post_solve = make_reprojector(plans, arrays, region) \
+                    if opts.use_fusion and plans else None
 
-        plans = plan_arrays(extraction.arrays, region)
-        arrays = PlacementArrays.build(netlist)
-        forces = build_alignment(plans, arrays,
-                                 structure_weight=opts.structure_weight) \
-            if opts.use_alignment else None
-        groups = group_ids(plans, arrays.num_cells) \
-            if opts.use_fusion else None
-        post_solve = make_reprojector(plans, arrays, region) \
-            if opts.use_fusion and plans else None
+                x, y, history = _run_engine(arrays, region, opts, forces,
+                                            groups, post_solve,
+                                            tracer=tracer)
+                arrays.write_back(x, y)
+                hpwl_gp = netlist.hpwl()
 
-        x, y, history = _run_engine(arrays, region, opts, forces, groups,
-                                    post_solve)
-        arrays.write_back(x, y)
-        hpwl_gp = netlist.hpwl()
-        t_gp = time.perf_counter()
+            with tracer.phase(
+                    "legalize",
+                    mode=opts.structure_legalization) as ph_legal:
+                if opts.structure_legalization != "none" and plans:
+                    if opts.structure_legalization == "blocks":
+                        obstacles = legalize_structured(netlist, region,
+                                                        plans)
+                    elif opts.structure_legalization == "slices":
+                        obstacles = legalize_slices(netlist, region, plans)
+                    else:
+                        raise ValueError(
+                            "structure_legalization must be 'slices',"
+                            " 'blocks', or 'none'")
+                    frozen = {c.name for c in obstacles}
+                    glue = [c for c in netlist.movable_cells()
+                            if c.name not in frozen]
+                    result = abacus_legalize(netlist, region, cells=glue,
+                                             obstacles=obstacles)
+                    if result.failed:
+                        tetris_legalize(
+                            netlist, region,
+                            cells=[netlist.cell(n) for n in result.failed],
+                            obstacles=obstacles)
+                    if opts.structure_legalization == "blocks":
+                        optimize_flips(netlist, plans)
+                else:
+                    frozen = set()
+                    result = abacus_legalize(netlist, region)
+                    if result.failed:
+                        tetris_legalize(netlist, region,
+                                        cells=[netlist.cell(n)
+                                               for n in result.failed])
+                hpwl_legal = netlist.hpwl()
 
-        if opts.structure_legalization != "none" and plans:
-            if opts.structure_legalization == "blocks":
-                obstacles = legalize_structured(netlist, region, plans)
-            elif opts.structure_legalization == "slices":
-                obstacles = legalize_slices(netlist, region, plans)
-            else:
-                raise ValueError("structure_legalization must be 'slices',"
-                                 " 'blocks', or 'none'")
-            frozen = {c.name for c in obstacles}
-            glue = [c for c in netlist.movable_cells()
-                    if c.name not in frozen]
-            result = abacus_legalize(netlist, region, cells=glue,
-                                     obstacles=obstacles)
-            if result.failed:
-                tetris_legalize(
-                    netlist, region,
-                    cells=[netlist.cell(n) for n in result.failed],
-                    obstacles=obstacles)
-            if opts.structure_legalization == "blocks":
-                optimize_flips(netlist, plans)
-        else:
-            frozen = set()
-            result = abacus_legalize(netlist, region)
-            if result.failed:
-                tetris_legalize(netlist, region,
-                                cells=[netlist.cell(n)
-                                       for n in result.failed])
-        hpwl_legal = netlist.hpwl()
-        t_legal = time.perf_counter()
-
-        if opts.run_detailed:
-            detailed_place(netlist, region, frozen=frozen)
-        hpwl_final = netlist.hpwl()
-        t_end = time.perf_counter()
+            with tracer.phase("detailed",
+                              enabled=opts.run_detailed) as ph_detail:
+                if opts.run_detailed:
+                    detailed_place(netlist, region, frozen=frozen)
+                hpwl_final = netlist.hpwl()
 
         return PlaceOutcome(
             placer=self.name,
@@ -473,11 +491,11 @@ class StructureAwarePlacer:
             hpwl_gp=hpwl_gp,
             hpwl_legal=hpwl_legal,
             hpwl_final=hpwl_final,
-            runtime_s=t_end - t0,
-            extract_s=t_extract - t0,
-            gp_s=t_gp - t_extract,
-            legalize_s=t_legal - t_gp,
-            detailed_s=t_end - t_legal,
+            runtime_s=ph_all.elapsed_s,
+            extract_s=extraction.elapsed_s,
+            gp_s=ph_gp.elapsed_s,
+            legalize_s=ph_legal.elapsed_s,
+            detailed_s=ph_detail.elapsed_s,
             violations=len(check_legal(netlist, region)),
             extraction=extraction,
             gp_history=history,
@@ -504,35 +522,44 @@ class BaselinePlacer:
             seed=base.seed,
         )
 
-    def place(self, netlist: Netlist, region: PlacementRegion
-              ) -> PlaceOutcome:
+    def place(self, netlist: Netlist, region: PlacementRegion, *,
+              tracer: Tracer | None = None) -> PlaceOutcome:
         opts = self.options
-        t0 = time.perf_counter()
-        arrays = PlacementArrays.build(netlist)
-        x, y, history = _run_engine(arrays, region, opts, None, None)
-        arrays.write_back(x, y)
-        hpwl_gp = netlist.hpwl()
-        t_gp = time.perf_counter()
-        result = abacus_legalize(netlist, region)
-        if result.failed:
-            tetris_legalize(netlist, region,
-                            cells=[netlist.cell(n) for n in result.failed])
-        hpwl_legal = netlist.hpwl()
-        t_legal = time.perf_counter()
-        if opts.run_detailed:
-            detailed_place(netlist, region)
-        hpwl_final = netlist.hpwl()
-        t_end = time.perf_counter()
+        tracer = tracer or Tracer()
+        with tracer.phase("place", placer=self.name,
+                          design=netlist.name) as ph_all:
+            # zero-work stage, emitted anyway so traces have a uniform
+            # phase schema across placers
+            with tracer.phase("extract", enabled=False):
+                pass
+            with tracer.phase("global_place", engine=opts.engine) as ph_gp:
+                arrays = PlacementArrays.build(netlist)
+                x, y, history = _run_engine(arrays, region, opts, None,
+                                            None, tracer=tracer)
+                arrays.write_back(x, y)
+                hpwl_gp = netlist.hpwl()
+            with tracer.phase("legalize", mode="none") as ph_legal:
+                result = abacus_legalize(netlist, region)
+                if result.failed:
+                    tetris_legalize(netlist, region,
+                                    cells=[netlist.cell(n)
+                                           for n in result.failed])
+                hpwl_legal = netlist.hpwl()
+            with tracer.phase("detailed",
+                              enabled=opts.run_detailed) as ph_detail:
+                if opts.run_detailed:
+                    detailed_place(netlist, region)
+                hpwl_final = netlist.hpwl()
         return PlaceOutcome(
             placer=self.name,
             design=netlist.name,
             hpwl_gp=hpwl_gp,
             hpwl_legal=hpwl_legal,
             hpwl_final=hpwl_final,
-            runtime_s=t_end - t0,
-            gp_s=t_gp - t0,
-            legalize_s=t_legal - t_gp,
-            detailed_s=t_end - t_legal,
+            runtime_s=ph_all.elapsed_s,
+            gp_s=ph_gp.elapsed_s,
+            legalize_s=ph_legal.elapsed_s,
+            detailed_s=ph_detail.elapsed_s,
             violations=len(check_legal(netlist, region)),
             gp_history=history,
         )

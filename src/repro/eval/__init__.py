@@ -25,5 +25,6 @@ __all__ = [
     "score_extraction",
     "snapshot_positions",
     "steiner_length",
+    "total_overlap",
     "total_steiner",
 ]

@@ -20,11 +20,11 @@ group ids — used to spread fused slices as units).
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, field
 
 import numpy as np
 
+from ..runtime.telemetry import Tracer
 from .arrays import PlacementArrays
 from .b2b import B2BBuilder
 from .density import overflow
@@ -99,7 +99,8 @@ class QuadraticPlacer:
                  extra_pairs_x: list[tuple[int, int, float, float]] | None = None,
                  extra_pairs_y: list[tuple[int, int, float, float]] | None = None,
                  groups: np.ndarray | None = None,
-                 post_solve=None):
+                 post_solve=None,
+                 tracer: Tracer | None = None):
         self.arrays = arrays
         self.region = region
         self.options = options or GlobalPlaceOptions()
@@ -107,6 +108,9 @@ class QuadraticPlacer:
         self.extra_pairs_x = extra_pairs_x or []
         self.extra_pairs_y = extra_pairs_y or []
         self.groups = groups
+        # telemetry hook: iteration elapsed stamps come from the tracer
+        # clock so every reported elapsed_s shares one time source
+        self.tracer = tracer or Tracer()
         # post_solve(x, y): in-place projection hook applied after every
         # solve — used to keep fused rigid groups in formation
         self.post_solve = post_solve
@@ -148,44 +152,48 @@ class QuadraticPlacer:
         mv = arrays.movable
         x[mv] = cx
         y[mv] = cy
-        start = time.perf_counter()
-        x = self._solve_axis(x, arrays.pin_dx, None, 0.0, self.extra_pairs_x)
-        y = self._solve_axis(y, arrays.pin_dy, None, 0.0, self.extra_pairs_y)
-        self._clamp(x, y)
-        if self.post_solve is not None:
-            self.post_solve(x, y)
-
         history: list[IterationStat] = []
-        anchors_x, anchors_y = x, y
-        for it in range(1, opts.max_iterations + 1):
-            # upper bound: spread the current lower-bound solution
-            anchors_x, anchors_y = spread_positions(
-                arrays, x, y, self.region,
-                target_utilization=opts.target_utilization,
-                groups=self.groups)
-            # convergence is judged on how spread the LOWER bound already
-            # is: the spread solution has ~zero overflow by construction
-            ovf_lower = overflow(arrays, x, y, self.grid)
-            stat = IterationStat(
-                iteration=it,
-                hpwl_lower=hpwl(arrays, x, y),
-                hpwl_upper=hpwl(arrays, anchors_x, anchors_y),
-                overflow=ovf_lower,
-                elapsed_s=time.perf_counter() - start)
-            history.append(stat)
-            if ovf_lower <= opts.target_overflow:
-                break
-            # lower bound: anchored quadratic solve
-            w = opts.anchor_alpha * it
-            x = self._solve_axis(x if opts.b2b_refresh else anchors_x,
-                                 arrays.pin_dx, anchors_x, w,
+        with self.tracer.phase("gp_loop") as ph:
+            x = self._solve_axis(x, arrays.pin_dx, None, 0.0,
                                  self.extra_pairs_x)
-            y = self._solve_axis(y if opts.b2b_refresh else anchors_y,
-                                 arrays.pin_dy, anchors_y, w,
+            y = self._solve_axis(y, arrays.pin_dy, None, 0.0,
                                  self.extra_pairs_y)
             self._clamp(x, y)
             if self.post_solve is not None:
                 self.post_solve(x, y)
+
+            anchors_x, anchors_y = x, y
+            for it in range(1, opts.max_iterations + 1):
+                # upper bound: spread the current lower-bound solution
+                anchors_x, anchors_y = spread_positions(
+                    arrays, x, y, self.region,
+                    target_utilization=opts.target_utilization,
+                    groups=self.groups)
+                # convergence is judged on how spread the LOWER bound
+                # already is: the spread solution has ~zero overflow by
+                # construction
+                ovf_lower = overflow(arrays, x, y, self.grid)
+                stat = IterationStat(
+                    iteration=it,
+                    hpwl_lower=hpwl(arrays, x, y),
+                    hpwl_upper=hpwl(arrays, anchors_x, anchors_y),
+                    overflow=ovf_lower,
+                    elapsed_s=ph.split())
+                history.append(stat)
+                self.tracer.incr("gp.iterations")
+                if ovf_lower <= opts.target_overflow:
+                    break
+                # lower bound: anchored quadratic solve
+                w = opts.anchor_alpha * it
+                x = self._solve_axis(x if opts.b2b_refresh else anchors_x,
+                                     arrays.pin_dx, anchors_x, w,
+                                     self.extra_pairs_x)
+                y = self._solve_axis(y if opts.b2b_refresh else anchors_y,
+                                     arrays.pin_dy, anchors_y, w,
+                                     self.extra_pairs_y)
+                self._clamp(x, y)
+                if self.post_solve is not None:
+                    self.post_solve(x, y)
 
         # final answer: the last spread (upper-bound) solution — it is the
         # overlap-free one that legalization can realise with small moves

@@ -1,0 +1,218 @@
+"""Job execution: in-process, and fanned out over a process pool.
+
+:func:`execute_job` is the single code path every job takes — serial
+runs call it directly, pool workers call it inside the subprocess — so
+serial and parallel execution are bit-identical by construction.  It
+consults the durable :class:`~repro.runtime.cache.ArtifactCache` before
+placing: a hit short-circuits the placer entirely (counted as
+``cache.hit``; ``placer.invocations`` stays untouched), a miss runs the
+full pipeline under a :class:`~repro.runtime.telemetry.Tracer` and
+stores the artifact.
+
+:class:`BatchExecutor` adds fan-out policy on top: a
+``concurrent.futures`` process pool when ``workers > 0`` (graceful
+degradation to serial in-process execution at ``workers=0``), per-job
+timeout, and bounded retry when a job raises or its worker crashes —
+the terminal failure is *reported* in the :class:`JobResult`, never
+swallowed and never allowed to sink the rest of the batch.
+"""
+
+from __future__ import annotations
+
+from concurrent import futures as cf
+from concurrent.futures.process import BrokenProcessPool
+
+from ..core import BaselinePlacer, StructureAwarePlacer
+from ..eval import evaluate_placement
+from ..gen import build_design
+from .cache import ArtifactCache, job_key, snapshot_positions
+from .jobs import JobResult, PlacementJob
+from .telemetry import Tracer
+
+_PLACERS = {"baseline": BaselinePlacer, "structure": StructureAwarePlacer}
+
+
+def execute_job(job: PlacementJob, *, cache: ArtifactCache | None = None,
+                tracer: Tracer | None = None) -> JobResult:
+    """Run (or load from cache) one placement job.
+
+    Raises whatever the pipeline raises — retry/reporting policy belongs
+    to :class:`BatchExecutor`, not here.
+    """
+    tracer = tracer or Tracer()
+    # remember where this job starts so a shared tracer only contributes
+    # its own delta to the result record
+    events_start = len(tracer.events)
+    counters_before = dict(tracer.counters)
+    with tracer.phase("job", design=job.design, placer=job.placer,
+                      seed=job.seed):
+        with tracer.phase("build"):
+            design = build_design(job.design)
+        options = job.resolved_options()
+        key = job_key(design.netlist, job.placer, options, job.seed)
+
+        artifact = cache.get(key) if cache is not None else None
+        if artifact is not None:
+            tracer.incr("cache.hit")
+            result = JobResult.from_artifact(job, artifact, cached=True)
+        else:
+            if cache is not None:
+                tracer.incr("cache.miss")
+            tracer.incr("placer.invocations")
+            placer = _PLACERS[job.placer](options)
+            outcome = placer.place(design.netlist, design.region,
+                                   tracer=tracer)
+            with tracer.phase("evaluate"):
+                report = evaluate_placement(design.netlist, design.region)
+            slices = []
+            if outcome.extraction is not None:
+                slices = [[c.name for c in s]
+                          for a in outcome.extraction.arrays
+                          for s in a.slices]
+            result = JobResult(
+                job=job,
+                key=key,
+                placer_name=outcome.placer,
+                hpwl_gp=outcome.hpwl_gp,
+                hpwl_legal=outcome.hpwl_legal,
+                hpwl_final=outcome.hpwl_final,
+                runtime_s=outcome.runtime_s,
+                extract_s=outcome.extract_s,
+                gp_s=outcome.gp_s,
+                legalize_s=outcome.legalize_s,
+                detailed_s=outcome.detailed_s,
+                violations=outcome.violations,
+                metrics={
+                    "hpwl": report.hpwl,
+                    "steiner": report.steiner,
+                    "rudy_max": report.congestion.max,
+                    "max_density": report.max_density,
+                    "overflow_fraction": report.overflow_fraction,
+                    "legal": report.legal,
+                },
+                slices=slices,
+                positions=snapshot_positions(design.netlist),
+            )
+            if cache is not None:
+                cache.put(key, result.to_artifact())
+    result.key = key
+    result.events = tracer.events[events_start:]
+    result.counters = {
+        name: value - counters_before.get(name, 0)
+        for name, value in tracer.counters.items()
+        if value != counters_before.get(name, 0)}
+    return result
+
+
+def _worker_execute(job: PlacementJob, cache_root: str | None) -> JobResult:
+    """Top-level pool target (must be picklable by name)."""
+    cache = ArtifactCache(cache_root) if cache_root else None
+    return execute_job(job, cache=cache)
+
+
+class BatchExecutor:
+    """Fans placement jobs out with timeout, retry, and telemetry.
+
+    Args:
+        workers: process-pool size; ``0`` runs serially in-process.
+        cache: durable artifact cache shared by all workers (optional).
+        timeout_s: per-job wall-clock budget in parallel mode; a timed
+            out job is reported as an error (its worker cannot be
+            reclaimed mid-flight, so timeouts are not retried).
+        retries: how many times a crashing/raising job is re-executed
+            before its failure is reported.
+    """
+
+    def __init__(self, workers: int = 0, *,
+                 cache: ArtifactCache | None = None,
+                 timeout_s: float | None = None, retries: int = 1):
+        self.workers = workers
+        self.cache = cache
+        self.timeout_s = timeout_s
+        self.retries = max(retries, 0)
+
+    # ------------------------------------------------------------------
+    def run(self, jobs: list[PlacementJob],
+            tracer: Tracer | None = None) -> list[JobResult]:
+        """Execute all jobs; results come back in job order."""
+        tracer = tracer or Tracer()
+        if self.workers <= 0:
+            results = self._run_serial(jobs, tracer)
+        else:
+            results = self._run_parallel(jobs, tracer)
+        for result in results:
+            tracer.incr("executor.jobs")
+            if result.status == "error":
+                tracer.incr("executor.failures")
+            tracer.merge(result.events, result.counters)
+        return results
+
+    # ------------------------------------------------------------------
+    def _run_serial(self, jobs: list[PlacementJob],
+                    tracer: Tracer) -> list[JobResult]:
+        results = []
+        for job in jobs:
+            attempts = 0
+            while True:
+                attempts += 1
+                try:
+                    result = execute_job(job, cache=self.cache)
+                    result.attempts = attempts
+                    break
+                except Exception as exc:
+                    if attempts > self.retries:
+                        result = JobResult(job=job, status="error",
+                                           attempts=attempts,
+                                           error=repr(exc))
+                        break
+                    tracer.incr("executor.retry")
+            results.append(result)
+        return results
+
+    def _run_parallel(self, jobs: list[PlacementJob],
+                      tracer: Tracer) -> list[JobResult]:
+        cache_root = str(self.cache.root) if self.cache else None
+        pool = cf.ProcessPoolExecutor(max_workers=self.workers)
+        pending = {idx: pool.submit(_worker_execute, job, cache_root)
+                   for idx, job in enumerate(jobs)}
+        results: list[JobResult | None] = [None] * len(jobs)
+        try:
+            for idx, job in enumerate(jobs):
+                attempts = 1
+                while True:
+                    future = pending[idx]
+                    try:
+                        result = future.result(timeout=self.timeout_s)
+                        result.attempts = attempts
+                        break
+                    except cf.TimeoutError:
+                        future.cancel()
+                        result = JobResult(
+                            job=job, status="error", attempts=attempts,
+                            error=f"timeout after {self.timeout_s}s")
+                        break
+                    except BrokenProcessPool as exc:
+                        # the pool is unusable after a worker crash;
+                        # rebuild it before retrying or moving on
+                        error = repr(exc)
+                        pool.shutdown(wait=False, cancel_futures=True)
+                        pool = cf.ProcessPoolExecutor(
+                            max_workers=self.workers)
+                        for j, fut in list(pending.items()):
+                            if j > idx and not fut.done():
+                                pending[j] = pool.submit(
+                                    _worker_execute, jobs[j], cache_root)
+                    except Exception as exc:
+                        error = repr(exc)
+                    if attempts > self.retries:
+                        result = JobResult(job=job, status="error",
+                                           attempts=attempts, error=error)
+                        break
+                    attempts += 1
+                    tracer.incr("executor.retry")
+                    pending[idx] = pool.submit(_worker_execute, job,
+                                               cache_root)
+                results[idx] = result
+        finally:
+            pool.shutdown(wait=False, cancel_futures=True)
+        return [r for r in results if r is not None]

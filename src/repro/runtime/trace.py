@@ -1,0 +1,63 @@
+"""JSONL trace sink for :class:`~repro.runtime.telemetry.Tracer` records.
+
+One event per line, append-friendly, readable with any log tooling::
+
+    {"kind": "phase", "name": "extract", "path": "job/place/extract", ...}
+    {"kind": "counter", "name": "cache.hit", "value": 3}
+
+:func:`write_trace` dumps a finished tracer (events then counters);
+:class:`JsonlTraceWriter` streams events as they arrive for long suites.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from .telemetry import Tracer
+
+
+class JsonlTraceWriter:
+    """Streaming JSONL writer; usable as a context manager."""
+
+    def __init__(self, path: str | Path):
+        self.path = Path(path)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._fh = self.path.open("w", encoding="utf-8")
+
+    def write(self, event: dict) -> None:
+        self._fh.write(json.dumps(event, sort_keys=True) + "\n")
+
+    def write_tracer(self, tracer: Tracer) -> None:
+        for event in tracer.events:
+            self.write(event)
+        for name in sorted(tracer.counters):
+            self.write({"kind": "counter", "name": name,
+                        "value": tracer.counters[name]})
+
+    def close(self) -> None:
+        self._fh.close()
+
+    def __enter__(self) -> "JsonlTraceWriter":
+        return self
+
+    def __exit__(self, *_exc: object) -> None:
+        self.close()
+
+
+def write_trace(path: str | Path, tracer: Tracer) -> Path:
+    """Write a finished tracer's events and counters to ``path``."""
+    with JsonlTraceWriter(path) as writer:
+        writer.write_tracer(tracer)
+    return Path(path)
+
+
+def read_trace(path: str | Path) -> list[dict]:
+    """Load a JSONL trace back into a list of event dicts."""
+    records = []
+    with Path(path).open(encoding="utf-8") as fh:
+        for line in fh:
+            line = line.strip()
+            if line:
+                records.append(json.loads(line))
+    return records

@@ -1,5 +1,7 @@
 """Tests for the command-line interface."""
 
+import json
+
 import pytest
 
 from repro.cli import main
@@ -61,6 +63,59 @@ class TestEvalCommand:
         assert main(["eval", "--design", "dp_add8"]) == 0
         out = capsys.readouterr().out
         assert "placement quality" in out
+
+
+class TestVersionFlag:
+    def test_version(self, capsys):
+        with pytest.raises(SystemExit) as exc:
+            main(["--version"])
+        assert exc.value.code == 0
+        from repro import __version__
+        assert __version__ in capsys.readouterr().out
+
+
+class TestPlaceFlags:
+    def test_json_output(self, capsys):
+        assert main(["place", "--design", "dp_add8",
+                     "--placer", "baseline", "--json"]) == 0
+        rows = json.loads(capsys.readouterr().out)
+        assert rows[0]["design"] == "dp_add8"
+        assert rows[0]["legal"] is True
+
+    def test_seed_flag_runs(self, capsys):
+        assert main(["place", "--design", "dp_add8",
+                     "--placer", "baseline", "--seed", "3", "--json"]) == 0
+        rows = json.loads(capsys.readouterr().out)
+        assert rows[0]["seed"] == 3
+
+
+class TestRunCommand:
+    def test_run_smoke_suite(self, capsys, tmp_path):
+        cache_dir = tmp_path / "cache"
+        trace = tmp_path / "trace.jsonl"
+        assert main(["run", "--designs", "dp_add8",
+                     "--placer", "baseline",
+                     "--cache-dir", str(cache_dir),
+                     "--trace", str(trace)]) == 0
+        out = capsys.readouterr().out
+        assert "dp_add8" in out
+        assert "placed=1" in out
+        assert trace.exists()
+        # warm rerun hits the durable cache: zero placements
+        assert main(["run", "--designs", "dp_add8",
+                     "--placer", "baseline",
+                     "--cache-dir", str(cache_dir)]) == 0
+        out = capsys.readouterr().out
+        assert "placed=0" in out
+        assert "cache_hits=1" in out
+
+    def test_run_json_output(self, capsys, tmp_path):
+        assert main(["run", "--designs", "dp_add8",
+                     "--placer", "baseline", "--no-cache",
+                     "--json"]) == 0
+        rows = json.loads(capsys.readouterr().out)
+        assert len(rows) == 1
+        assert rows[0]["cached"] is False
 
 
 class TestArgErrors:

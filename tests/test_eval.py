@@ -8,8 +8,7 @@ from repro.eval import (congestion_report, evaluate_placement, format_table,
                         score_extraction, steiner_length, total_steiner)
 from repro.gen import build_design
 from repro.gen.units import ArrayTruth, SliceTruth
-from repro.netlist import Netlist, default_library
-from repro.place import BinGrid, default_grid
+from repro.place import default_grid
 
 
 class TestSteiner:

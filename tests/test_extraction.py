@@ -5,9 +5,8 @@ import pytest
 from repro.core import (ExtractionOptions, control_columns,
                         detect_clock_nets, edge_bundles, extract_datapaths,
                         grow_slices)
-from repro.core.arrays import arrays_from_slices
 from repro.eval import score_extraction
-from repro.gen import UnitSpec, build_design, compose_design
+from repro.gen import UnitSpec, compose_design
 
 
 @pytest.fixture(scope="module")

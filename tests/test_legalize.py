@@ -1,6 +1,5 @@
 """Tests for Tetris and Abacus legalization and legality checking."""
 
-import numpy as np
 import pytest
 
 from repro.gen import build_design

@@ -1,7 +1,6 @@
 """Edge-case tests: Abacus cluster math, RNG helpers, parser tolerance,
 stats, and option plumbing."""
 
-import numpy as np
 import pytest
 
 from repro.gen import make_rng

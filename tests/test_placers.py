@@ -7,7 +7,7 @@ from repro.core import (BaselinePlacer, PlacerOptions, StructureAwarePlacer,
                         extract_datapaths)
 from repro.core.groups import group_ids, make_reprojector, plan_arrays
 from repro.core.alignment import build_alignment
-from repro.gen import UnitSpec, build_design, compose_design
+from repro.gen import UnitSpec, compose_design
 from repro.place import PlacementArrays, check_legal
 
 

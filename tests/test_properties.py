@@ -8,7 +8,6 @@ from repro.eval import geomean, rmst_length, steiner_length
 from repro.eval.report import format_table
 from repro.gen import UnitSpec, compose_design
 from repro.gen.rng import make_rng, weighted_choice
-from repro.netlist import Netlist, default_library
 from repro.place import PlacementArrays, PlacementRegion
 from repro.place.spreading import spread_positions
 from repro.place.wirelength import (hpwl, lse_wirelength_grad,

@@ -6,8 +6,8 @@ import pytest
 from repro.gen import build_design
 from repro.netlist import Netlist, default_library
 from repro.place import (B2BBuilder, GlobalPlaceOptions, PlacementArrays,
-                         PlacementRegion, QuadraticPlacer, default_grid,
-                         overflow, spread_positions)
+                         QuadraticPlacer, default_grid, overflow,
+                         spread_positions)
 from repro.place.wirelength import hpwl
 
 

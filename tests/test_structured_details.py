@@ -1,7 +1,6 @@
 """Tests for structure-placement internals: planning, slice legalization,
 flips, formation scoring, visualization, and the extended unit set."""
 
-import numpy as np
 import pytest
 
 from repro.core import (StructureAwarePlacer, extract_datapaths,
