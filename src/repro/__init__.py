@@ -15,7 +15,10 @@ caveat).  The package provides:
   structure-aware placement (:mod:`repro.core`);
 - evaluation metrics and reporting (:mod:`repro.eval`);
 - a batch execution runtime — parallel job fan-out, durable artifact
-  caching, structured telemetry (:mod:`repro.runtime`).
+  caching, structured telemetry (:mod:`repro.runtime`);
+- fault tolerance — an error taxonomy (:mod:`repro.errors`), numerical
+  guards, a degradation ladder, and global-place checkpoint/resume
+  (:mod:`repro.robust`).
 
 Quickstart::
 
@@ -31,6 +34,9 @@ Quickstart::
 from .core import (BaselinePlacer, ExtractionOptions, ExtractionResult,
                    PlaceOutcome, PlacerOptions, StructureAwarePlacer,
                    extract_datapaths)
+from .errors import (CacheCorruptionError, LegalizationError,
+                     NumericalError, ParseError, ReproError,
+                     ValidationError, error_kind, exit_code_for)
 from .eval import (PlacementReport, evaluate_placement, format_table,
                    score_extraction, total_steiner)
 from .gen import (GeneratedDesign, UnitSpec, build_design, compose_design,
@@ -47,31 +53,39 @@ __all__ = [
     "ArtifactCache",
     "BaselinePlacer",
     "BatchExecutor",
+    "CacheCorruptionError",
     "Cell",
     "CellType",
     "ExtractionOptions",
     "ExtractionResult",
     "GeneratedDesign",
     "JobResult",
+    "LegalizationError",
     "Library",
     "Net",
     "Netlist",
+    "NumericalError",
+    "ParseError",
     "PlaceOutcome",
     "PlacementJob",
     "PlacementRegion",
     "PlacementReport",
     "PlacerOptions",
+    "ReproError",
     "StructureAwarePlacer",
     "SuiteResult",
     "Tracer",
     "UnitSpec",
+    "ValidationError",
     "build_design",
     "compose_design",
     "compute_stats",
     "datapath_fraction_design",
     "default_library",
     "design_names",
+    "error_kind",
     "evaluate_placement",
+    "exit_code_for",
     "extract_datapaths",
     "format_table",
     "region_for",

@@ -6,6 +6,14 @@ the UCLA conventions).  Since Bookshelf files carry no cell-library
 information, each distinct (width, height, pin-offset-profile) becomes a
 synthesised :class:`~repro.netlist.library.CellType`; pin directions come
 from the ``I``/``O`` markers in the ``.nets`` file.
+
+Every malformed input is diagnosed as a :class:`~repro.errors.ParseError`
+carrying the file path and line number of the offending token — never a
+bare ``ValueError``/``KeyError``/``FileNotFoundError`` from deep inside
+the reader.  Degenerate geometry gets the same treatment: a *movable*
+node with non-positive width or height is an error (it cannot be placed),
+while a zero-size *terminal* is floored to a tiny epsilon footprint so
+pad-only markers from other tools still load.
 """
 
 from __future__ import annotations
@@ -14,9 +22,14 @@ import os
 import re
 from dataclasses import dataclass
 from pathlib import Path
+from typing import Iterator
 
+from ..errors import ParseError
 from ..netlist import (CellType, Library, Netlist, PinDirection, PinSpec)
 from ..place.region import PlacementRegion, Row
+
+#: Footprint assigned to zero-size terminals (pure pad markers).
+TERMINAL_EPSILON = 1e-6
 
 
 @dataclass
@@ -27,16 +40,30 @@ class BookshelfDesign:
     region: PlacementRegion
 
 
-def _data_lines(path: Path) -> list[str]:
-    """Non-empty, non-comment lines of a Bookshelf file, header stripped."""
-    lines: list[str] = []
-    with open(path) as f:
-        for raw in f:
+def _data_lines(path: Path) -> Iterator[tuple[int, str]]:
+    """(lineno, line) for non-empty, non-comment lines, header stripped."""
+    try:
+        f = open(path)
+    except FileNotFoundError:
+        raise ParseError("file listed in .aux manifest does not exist",
+                         path=str(path)) from None
+    except OSError as exc:
+        raise ParseError(f"cannot read file: {exc}",
+                         path=str(path)) from exc
+    with f:
+        for lineno, raw in enumerate(f, start=1):
             line = raw.split("#", 1)[0].strip()
             if not line or line.startswith("UCLA"):
                 continue
-            lines.append(line)
-    return lines
+            yield lineno, line
+
+
+def _to_float(token: str, path: Path, lineno: int, what: str) -> float:
+    try:
+        return float(token)
+    except ValueError:
+        raise ParseError(f"invalid {what} {token!r}",
+                         path=str(path), line=lineno) from None
 
 
 _NODE_RE = re.compile(
@@ -47,14 +74,27 @@ _NODE_RE = re.compile(
 def _parse_nodes(path: Path) -> dict[str, tuple[float, float, bool]]:
     """name -> (width, height, is_terminal)."""
     out: dict[str, tuple[float, float, bool]] = {}
-    for line in _data_lines(path):
+    for lineno, line in _data_lines(path):
         if line.startswith(("NumNodes", "NumTerminals")):
             continue
         m = _NODE_RE.match(line)
         if not m:
-            raise ValueError(f"unparseable .nodes line: {line!r}")
-        out[m.group("name")] = (float(m.group("w")), float(m.group("h")),
-                                m.group("term") is not None)
+            raise ParseError(f"unparseable .nodes line: {line!r}",
+                             path=str(path), line=lineno)
+        name = m.group("name")
+        w = _to_float(m.group("w"), path, lineno, "node width")
+        h = _to_float(m.group("h"), path, lineno, "node height")
+        terminal = m.group("term") is not None
+        if terminal:
+            # zero-size pad markers are legal input; floor them so the
+            # cell library accepts the footprint
+            w = max(w, TERMINAL_EPSILON)
+            h = max(h, TERMINAL_EPSILON)
+        elif w <= 0 or h <= 0:
+            raise ParseError(
+                f"movable node {name!r} has non-positive size "
+                f"{w} x {h}", path=str(path), line=lineno)
+        out[name] = (w, h, terminal)
     return out
 
 
@@ -70,11 +110,14 @@ def _parse_nets(path: Path) -> list[tuple[str, list[_NetPin]]]:
     nets: list[tuple[str, list[_NetPin]]] = []
     current: list[_NetPin] | None = None
     auto_id = 0
-    for line in _data_lines(path):
+    for lineno, line in _data_lines(path):
         if line.startswith(("NumNets", "NumPins")):
             continue
         if line.startswith("NetDegree"):
             # "NetDegree : <deg> [name]"
+            if ":" not in line:
+                raise ParseError(f"malformed NetDegree line: {line!r}",
+                                 path=str(path), line=lineno)
             parts = line.split(":", 1)[1].split()
             name = parts[1] if len(parts) > 1 else f"net_{auto_id}"
             auto_id += 1
@@ -82,16 +125,21 @@ def _parse_nets(path: Path) -> list[tuple[str, list[_NetPin]]]:
             nets.append((name, current))
             continue
         if current is None:
-            raise ValueError(f"pin line before any NetDegree: {line!r}")
+            raise ParseError(f"pin line before any NetDegree: {line!r}",
+                             path=str(path), line=lineno)
         # "<cell> <I|O|B> : <dx> <dy>"   (offsets optional)
         head, _sep, tail = line.partition(":")
         hparts = head.split()
+        if not hparts:
+            raise ParseError(f"unparseable .nets pin line: {line!r}",
+                             path=str(path), line=lineno)
         cell = hparts[0]
         direction = hparts[1] if len(hparts) > 1 else "B"
         dx = dy = 0.0
         tparts = tail.split()
         if len(tparts) >= 2:
-            dx, dy = float(tparts[0]), float(tparts[1])
+            dx = _to_float(tparts[0], path, lineno, "pin x offset")
+            dy = _to_float(tparts[1], path, lineno, "pin y offset")
         current.append(_NetPin(cell, direction, dx, dy))
     return nets
 
@@ -99,12 +147,14 @@ def _parse_nets(path: Path) -> list[tuple[str, list[_NetPin]]]:
 def _parse_pl(path: Path) -> dict[str, tuple[float, float, bool]]:
     """name -> (x, y, fixed)."""
     out: dict[str, tuple[float, float, bool]] = {}
-    for line in _data_lines(path):
+    for lineno, line in _data_lines(path):
         head, _sep, tail = line.partition(":")
         parts = head.split()
         if len(parts) < 3:
             continue
-        name, x, y = parts[0], float(parts[1]), float(parts[2])
+        name = parts[0]
+        x = _to_float(parts[1], path, lineno, "placement x")
+        y = _to_float(parts[2], path, lineno, "placement y")
         fixed = "/FIXED" in tail
         out[name] = (x, y, fixed)
     return out
@@ -115,7 +165,7 @@ def _parse_scl(path: Path) -> list[Row]:
     in_row = False
     coord = height = site_w = origin = 0.0
     num_sites = 0
-    for line in _data_lines(path):
+    for lineno, line in _data_lines(path):
         if line.startswith("NumRows"):
             continue
         if line.startswith("CoreRow"):
@@ -135,23 +185,33 @@ def _parse_scl(path: Path) -> list[Row]:
         key, _sep, value = line.partition(":")
         key = key.strip().lower()
         if key == "coordinate":
-            coord = float(value.split()[0])
+            coord = _to_float(value.split()[0], path, lineno,
+                              "row coordinate")
         elif key == "height":
-            height = float(value.split()[0])
+            height = _to_float(value.split()[0], path, lineno,
+                               "row height")
         elif key in ("sitewidth", "sitespacing"):
-            site_w = float(value.split()[0])
+            site_w = _to_float(value.split()[0], path, lineno,
+                               "site width")
         elif key == "subroworigin":
             # "SubrowOrigin : <x> NumSites : <n>"
             parts = value.split()
-            origin = float(parts[0])
+            origin = _to_float(parts[0], path, lineno, "subrow origin")
             if "NumSites" in parts:
-                num_sites = int(float(parts[parts.index("NumSites") + 2]))
+                idx = parts.index("NumSites") + 2
+                if idx >= len(parts):
+                    raise ParseError(
+                        f"NumSites with no value: {line!r}",
+                        path=str(path), line=lineno)
+                num_sites = int(_to_float(parts[idx], path, lineno,
+                                          "NumSites count"))
     return rows
 
 
-def _region_from_rows(rows: list[Row]) -> PlacementRegion:
+def _region_from_rows(rows: list[Row], path: Path) -> PlacementRegion:
     if not rows:
-        raise ValueError(".scl file defined no rows")
+        raise ParseError(".scl file defined no CoreRow entries",
+                         path=str(path))
     x = min(r.x for r in rows)
     y = min(r.y for r in rows)
     x_end = max(r.x_end for r in rows)
@@ -171,22 +231,46 @@ def read_bookshelf(aux_path: str | os.PathLike) -> BookshelfDesign:
         A :class:`BookshelfDesign` with a reconstructed netlist (masters
         synthesised from observed footprints and pin profiles) and the row
         region from the ``.scl`` file.
+
+    Raises:
+        ParseError: on a missing or malformed manifest, a missing
+            component file, or any unparseable line (the error names the
+            file and line).
     """
     aux_path = Path(aux_path)
     directory = aux_path.parent
-    with open(aux_path) as f:
-        content = f.read()
-    files = content.split(":", 1)[1].split() if ":" in content else content.split()
+    try:
+        content = aux_path.read_text()
+    except FileNotFoundError:
+        raise ParseError(".aux manifest does not exist",
+                         path=str(aux_path)) from None
+    except OSError as exc:
+        raise ParseError(f"cannot read .aux manifest: {exc}",
+                         path=str(aux_path)) from exc
+    files = content.split(":", 1)[1].split() if ":" in content \
+        else content.split()
     by_ext = {Path(name).suffix: directory / name for name in files}
-    for ext in (".nodes", ".nets", ".pl", ".scl"):
-        if ext not in by_ext:
-            raise ValueError(f".aux manifest is missing a {ext} file")
+    missing = [ext for ext in (".nodes", ".nets", ".pl", ".scl")
+               if ext not in by_ext]
+    if missing:
+        raise ParseError(
+            ".aux manifest is missing component file(s): "
+            + ", ".join(missing), path=str(aux_path))
 
     nodes = _parse_nodes(by_ext[".nodes"])
     raw_nets = _parse_nets(by_ext[".nets"])
     placements = _parse_pl(by_ext[".pl"])
     rows = _parse_scl(by_ext[".scl"])
-    region = _region_from_rows(rows)
+    region = _region_from_rows(rows, by_ext[".scl"])
+
+    # Every net pin must reference a declared node — catch it here with a
+    # file-level diagnostic instead of a KeyError during connect().
+    for net_name, pins in raw_nets:
+        for p in pins:
+            if p.cell not in nodes:
+                raise ParseError(
+                    f"net {net_name!r} references undeclared node "
+                    f"{p.cell!r}", path=str(by_ext[".nets"]))
 
     # Collect the pin profile observed for each cell: pin key -> (dir, dx, dy).
     # A pin key is its (direction, dx, dy) signature plus a disambiguator for

@@ -13,7 +13,15 @@ Designs come from the named benchmark suites (see
 :mod:`repro.gen.suites`); ``--aux`` accepts any Bookshelf bundle.
 ``place`` and ``run`` share the batch runtime (:mod:`repro.runtime`):
 jobs fan out over ``--workers`` processes, ``run`` additionally keeps a
-durable artifact cache and can emit a JSONL telemetry trace.
+durable artifact cache, global-place checkpoints, and can emit a JSONL
+telemetry trace.
+
+Exit codes follow the failure taxonomy (see README / DESIGN.md):
+0 success, 1 generic failure, 2 usage error (argparse), 3 parse,
+4 validation, 5 numerical, 6 legalization, 7 timeout, 8 cache
+corruption.  ``--strict`` promotes netlist validation warnings to
+errors; ``--no-fallback`` disables the degradation ladder so the first
+engine failure is terminal (and exits with its taxonomy code).
 """
 
 from __future__ import annotations
@@ -25,9 +33,11 @@ import sys
 from .bookshelf import read_bookshelf, write_bookshelf
 from .core import BaselinePlacer, PlacerOptions, StructureAwarePlacer, \
     extract_datapaths
+from .errors import ReproError, ValidationError, exit_code_for
 from .eval import evaluate_placement, format_table, score_extraction
 from .gen import build_design, design_names, suite_names
 from .netlist import compute_stats
+from .netlist.validate import errors as validation_errors, validate
 from .runtime import apply_positions, run_suite
 
 _PLACER_SETS = {
@@ -38,12 +48,30 @@ _PLACER_SETS = {
 
 
 def _load(args: argparse.Namespace):
-    """Resolve --design / --aux into (netlist, region, truth-or-None)."""
+    """Resolve --design / --aux into (netlist, region, truth-or-None).
+
+    The loaded netlist is validated: hard structural errors always raise
+    :class:`ValidationError`; with ``--strict``, warnings (undriven or
+    dangling nets, common in contest bundles) are promoted to errors too.
+    """
     if getattr(args, "aux", None):
         design = read_bookshelf(args.aux)
-        return design.netlist, design.region, None
-    generated = build_design(args.design)
-    return generated.netlist, generated.region, generated.truth
+        netlist, region, truth = design.netlist, design.region, None
+    else:
+        generated = build_design(args.design)
+        netlist, region, truth = \
+            generated.netlist, generated.region, generated.truth
+    strict = bool(getattr(args, "strict", False))
+    report = validate(netlist, allow_undriven=not strict,
+                      allow_dangling=not strict)
+    errs = validation_errors(report)
+    if errs:
+        raise ValidationError(
+            f"netlist {netlist.name!r} failed validation with "
+            f"{len(errs)} error(s)",
+            design=netlist.name,
+            violations=[str(v) for v in errs[:20]])
+    return netlist, region, truth
 
 
 def _emit(rows: list[dict], title: str, as_json: bool) -> None:
@@ -93,13 +121,14 @@ def _cmd_place(args: argparse.Namespace) -> int:
         return _place_aux(args, placers, options)
     # suite designs route through the batch runtime so --workers applies
     suite_result = run_suite([args.design], placers, workers=args.workers,
-                             seed=args.seed, options=options)
+                             seed=args.seed, options=options,
+                             fallback=not args.no_fallback)
     rows = []
     for result in suite_result.results:
         if not result.ok:
             print(f"error: {result.job.label}: {result.error}",
                   file=sys.stderr)
-            return 1
+            return exit_code_for(result.error_kind or "other")
         rows.append(result.row())
         if args.out:
             design = build_design(args.design)
@@ -115,15 +144,23 @@ def _place_aux(args: argparse.Namespace, placers: tuple[str, ...],
                options: PlacerOptions) -> int:
     """Bookshelf bundles cannot be rebuilt inside a worker, so --aux
     placements always run serially in-process."""
+    from .robust.fallback import place_with_fallback
     rows = []
     classes = {"baseline": BaselinePlacer, "structure": StructureAwarePlacer}
     for name in placers:
         netlist, region, _truth = _load(args)
-        outcome = classes[name](options).place(netlist, region)
+        degradation = None
+        if args.no_fallback:
+            outcome = classes[name](options).place(netlist, region)
+        else:
+            outcome, degradation = place_with_fallback(
+                netlist, region, options, placer=name)
         report = evaluate_placement(netlist, region)
         row = outcome.row()
         row["steiner"] = round(report.steiner, 1)
         row["rudy_max"] = round(report.congestion.max, 3)
+        if degradation is not None and degradation.degraded:
+            row["rung"] = degradation.succeeded
         rows.append(row)
         if args.out:
             write_bookshelf(netlist, region, args.out,
@@ -134,6 +171,7 @@ def _place_aux(args: argparse.Namespace, placers: tuple[str, ...],
 
 def _cmd_run(args: argparse.Namespace) -> int:
     cache_dir = None if args.no_cache else args.cache_dir
+    checkpoint_dir = None if args.no_checkpoint else args.checkpoint_dir
     suite_result = run_suite(
         args.designs or None,
         _PLACER_SETS[args.placer],
@@ -145,6 +183,8 @@ def _cmd_run(args: argparse.Namespace) -> int:
         trace_path=args.trace,
         timeout_s=args.timeout,
         retries=args.retries,
+        checkpoint_dir=checkpoint_dir,
+        fallback=not args.no_fallback,
     )
     _emit(suite_result.rows(), f"suite {args.suite}", args.json)
     if not args.json:
@@ -158,7 +198,10 @@ def _cmd_run(args: argparse.Namespace) -> int:
     for failure in suite_result.failures:
         print(f"error: {failure.job.label}: {failure.error}",
               file=sys.stderr)
-    return 0 if suite_result.ok else 1
+    if suite_result.ok:
+        return 0
+    # the batch exit code mirrors the first failure's taxonomy kind
+    return exit_code_for(suite_result.failures[0].error_kind or "other")
 
 
 def _cmd_eval(args: argparse.Namespace) -> int:
@@ -186,6 +229,9 @@ def main(argv: list[str] | None = None) -> int:
         if with_aux:
             p.add_argument("--aux", default=None,
                            help="Bookshelf .aux bundle instead of --design")
+        p.add_argument("--strict", action="store_true",
+                       help="promote netlist validation warnings to "
+                            "errors (exit 4)")
 
     def add_placer_args(p: argparse.ArgumentParser) -> None:
         p.add_argument("--placer", default="both",
@@ -200,6 +246,9 @@ def main(argv: list[str] | None = None) -> int:
                        help="process-pool size (0 = serial in-process)")
         p.add_argument("--json", action="store_true",
                        help="emit results as JSON instead of a table")
+        p.add_argument("--no-fallback", action="store_true",
+                       help="disable the degradation ladder; the first "
+                            "engine failure is terminal")
 
     p_gen = sub.add_parser("gen", help="emit a design as Bookshelf files")
     add_design_args(p_gen, with_aux=False)
@@ -231,6 +280,11 @@ def main(argv: list[str] | None = None) -> int:
                        help="per-job timeout in seconds (parallel mode)")
     p_run.add_argument("--retries", type=int, default=1,
                        help="retry budget for crashing jobs")
+    p_run.add_argument("--checkpoint-dir", default=".repro-checkpoints",
+                       help="global-place checkpoint directory (enables "
+                            "timeout/crash resume)")
+    p_run.add_argument("--no-checkpoint", action="store_true",
+                       help="disable global-place checkpoints")
 
     p_eval = sub.add_parser("eval", help="evaluate current placement")
     add_design_args(p_eval)
@@ -244,7 +298,11 @@ def main(argv: list[str] | None = None) -> int:
         "run": _cmd_run,
         "eval": _cmd_eval,
     }
-    return handlers[args.command](args)
+    try:
+        return handlers[args.command](args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return exc.exit_code
 
 
 if __name__ == "__main__":

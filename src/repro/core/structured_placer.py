@@ -22,7 +22,9 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from ..errors import LegalizationError
 from ..netlist import Netlist
+from ..robust.guards import GuardOptions
 from ..runtime.telemetry import Tracer
 from ..place.abacus import abacus_legalize
 from ..place.arrays import PlacementArrays
@@ -58,6 +60,9 @@ class PlacerOptions:
         gp: global-placement loop knobs.
         nonlinear: knobs for the nonlinear engine (when selected).
         extraction: extraction knobs (structure-aware only).
+        guard: numerical-guard knobs applied to whichever engine runs;
+            a tripped guard raises :class:`~repro.errors.NumericalError`
+            instead of emitting garbage positions.
         seed: reserved for stochastic components.
     """
 
@@ -70,6 +75,7 @@ class PlacerOptions:
     gp: GlobalPlaceOptions = field(default_factory=GlobalPlaceOptions)
     nonlinear: NonlinearOptions = field(default_factory=NonlinearOptions)
     extraction: ExtractionOptions = field(default_factory=ExtractionOptions)
+    guard: GuardOptions = field(default_factory=GuardOptions)
     seed: int = 0
 
 
@@ -372,23 +378,42 @@ def optimize_flips(netlist: Netlist, plans: list[ArrayPlan], *,
 # placers
 # ----------------------------------------------------------------------
 
+def _require_all_placed(result, netlist: Netlist) -> None:
+    """Raise :class:`LegalizationError` if the fallback Tetris pass still
+    left cells unplaced — a silent illegal placement is never returned."""
+    if result.failed:
+        raise LegalizationError(
+            f"{len(result.failed)} cells could not be legalized "
+            "(Abacus and Tetris both failed)",
+            design=netlist.name, cells=list(result.failed))
+
+
 def _run_engine(arrays: PlacementArrays, region: PlacementRegion,
                 options: PlacerOptions, forces, groups, post_solve=None,
-                tracer: Tracer | None = None):
+                tracer: Tracer | None = None, checkpoint=None,
+                resume=None):
+    resume_x = resume_y = None
+    resume_iteration = 0
+    if resume is not None and resume.matches(arrays.num_cells):
+        resume_x, resume_y = resume.x, resume.y
+        resume_iteration = resume.iteration
     if options.engine == "quadratic":
         placer = QuadraticPlacer(
             arrays, region, options=options.gp,
             extra_pairs_x=forces.pairs_x if forces else None,
             extra_pairs_y=forces.pairs_y if forces else None,
-            groups=groups, post_solve=post_solve, tracer=tracer)
-        result = placer.place()
+            groups=groups, post_solve=post_solve, tracer=tracer,
+            guard=options.guard, checkpoint=checkpoint)
+        result = placer.place(resume_x, resume_y,
+                              resume_iteration=resume_iteration)
         return result.x, result.y, result.history
     if options.engine == "nonlinear":
         placer = NonlinearPlacer(
             arrays, region, options=options.nonlinear,
             extra_pairs_x=forces.pairs_x if forces else None,
-            extra_pairs_y=forces.pairs_y if forces else None)
-        result = placer.place()
+            extra_pairs_y=forces.pairs_y if forces else None,
+            guard=options.guard, checkpoint=checkpoint)
+        result = placer.place(resume_x, resume_y)
         history = [IterationStat(iteration=i + 1, hpwl_lower=h,
                                  hpwl_upper=h, overflow=o, elapsed_s=0.0)
                    for i, (h, o) in enumerate(result.history)]
@@ -409,7 +434,8 @@ class StructureAwarePlacer:
         self.options = options or PlacerOptions()
 
     def place(self, netlist: Netlist, region: PlacementRegion, *,
-              tracer: Tracer | None = None) -> PlaceOutcome:
+              tracer: Tracer | None = None, checkpoint=None,
+              resume=None) -> PlaceOutcome:
         """Place the netlist in-place and return the outcome record.
 
         Args:
@@ -419,6 +445,20 @@ class StructureAwarePlacer:
                 phase (``extract``/``global_place``/``legalize``/
                 ``detailed``) and all reported ``*_s`` figures come from
                 its clock.
+            checkpoint: optional ``(iteration, x, y)`` hook the
+                global-placement engine calls once per outer iteration
+                (the runtime's checkpoint recorder).
+            resume: optional :class:`~repro.robust.checkpoint.Checkpoint`
+                — global placement re-enters its loop from these
+                positions instead of cold-starting (extraction is
+                recomputed either way; it is deterministic and cheap
+                relative to the loop).
+
+        Raises:
+            NumericalError: a numerical guard tripped during global
+                placement.
+            LegalizationError: cells remained unplaced after both the
+                Abacus and Tetris passes.
         """
         opts = self.options
         tracer = tracer or Tracer()
@@ -441,7 +481,9 @@ class StructureAwarePlacer:
 
                 x, y, history = _run_engine(arrays, region, opts, forces,
                                             groups, post_solve,
-                                            tracer=tracer)
+                                            tracer=tracer,
+                                            checkpoint=checkpoint,
+                                            resume=resume)
                 arrays.write_back(x, y)
                 hpwl_gp = netlist.hpwl()
 
@@ -464,19 +506,22 @@ class StructureAwarePlacer:
                     result = abacus_legalize(netlist, region, cells=glue,
                                              obstacles=obstacles)
                     if result.failed:
-                        tetris_legalize(
+                        retry = tetris_legalize(
                             netlist, region,
                             cells=[netlist.cell(n) for n in result.failed],
                             obstacles=obstacles)
+                        _require_all_placed(retry, netlist)
                     if opts.structure_legalization == "blocks":
                         optimize_flips(netlist, plans)
                 else:
                     frozen = set()
                     result = abacus_legalize(netlist, region)
                     if result.failed:
-                        tetris_legalize(netlist, region,
-                                        cells=[netlist.cell(n)
-                                               for n in result.failed])
+                        retry = tetris_legalize(netlist, region,
+                                                cells=[netlist.cell(n)
+                                                       for n in
+                                                       result.failed])
+                        _require_all_placed(retry, netlist)
                 hpwl_legal = netlist.hpwl()
 
             with tracer.phase("detailed",
@@ -519,11 +564,13 @@ class BaselinePlacer:
             gp=base.gp,
             nonlinear=base.nonlinear,
             extraction=base.extraction,
+            guard=base.guard,
             seed=base.seed,
         )
 
     def place(self, netlist: Netlist, region: PlacementRegion, *,
-              tracer: Tracer | None = None) -> PlaceOutcome:
+              tracer: Tracer | None = None, checkpoint=None,
+              resume=None) -> PlaceOutcome:
         opts = self.options
         tracer = tracer or Tracer()
         with tracer.phase("place", placer=self.name,
@@ -535,15 +582,18 @@ class BaselinePlacer:
             with tracer.phase("global_place", engine=opts.engine) as ph_gp:
                 arrays = PlacementArrays.build(netlist)
                 x, y, history = _run_engine(arrays, region, opts, None,
-                                            None, tracer=tracer)
+                                            None, tracer=tracer,
+                                            checkpoint=checkpoint,
+                                            resume=resume)
                 arrays.write_back(x, y)
                 hpwl_gp = netlist.hpwl()
             with tracer.phase("legalize", mode="none") as ph_legal:
                 result = abacus_legalize(netlist, region)
                 if result.failed:
-                    tetris_legalize(netlist, region,
-                                    cells=[netlist.cell(n)
-                                           for n in result.failed])
+                    retry = tetris_legalize(netlist, region,
+                                            cells=[netlist.cell(n)
+                                                   for n in result.failed])
+                    _require_all_placed(retry, netlist)
                 hpwl_legal = netlist.hpwl()
             with tracer.phase("detailed",
                               enabled=opts.run_detailed) as ph_detail:

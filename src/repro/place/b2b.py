@@ -19,6 +19,7 @@ from dataclasses import dataclass
 import numpy as np
 import scipy.sparse as sp
 
+from ..errors import NumericalError
 from .arrays import PlacementArrays
 
 _EPS = 1e-6
@@ -38,12 +39,28 @@ class QuadraticSystem:
 
     def solve(self, x0: np.ndarray | None = None, tol: float = 1e-8
               ) -> np.ndarray:
-        """Solve with conjugate gradient (SPD system); returns (m,)."""
+        """Solve with conjugate gradient (SPD system); returns (m,).
+
+        Raises:
+            NumericalError: the system itself is poisoned (non-finite
+                right-hand side — upstream positions already diverged)
+                or both CG and the direct fallback produced non-finite
+                values (near-singular system).
+        """
+        if not np.all(np.isfinite(self.b)):
+            raise NumericalError(
+                "non-finite right-hand side in quadratic system",
+                stage="solve", reason="nan")
         from scipy.sparse.linalg import cg
         sol, info = cg(self.A, self.b, x0=x0, rtol=tol, maxiter=1000)
-        if info > 0:  # not converged: fall back to a direct solve
+        if info > 0 or not np.all(np.isfinite(sol)):
+            # not converged (or diverged): fall back to a direct solve
             from scipy.sparse.linalg import spsolve
             sol = spsolve(self.A.tocsc(), self.b)
+        if not np.all(np.isfinite(np.atleast_1d(sol))):
+            raise NumericalError(
+                "linear solver produced non-finite solution "
+                "(near-singular system)", stage="solve", reason="nan")
         return sol
 
 

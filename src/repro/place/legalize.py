@@ -18,6 +18,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from ..errors import LegalizationError
 from ..netlist import Cell, Netlist
 from .region import PlacementRegion
 
@@ -161,6 +162,68 @@ def tetris_legalize(netlist: Netlist, region: PlacementRegion, *,
         rows[j].insert(x, cell.width)
     return LegalizeResult(total_displacement=total_disp,
                           max_displacement=max_disp, failed=failed)
+
+
+def row_scan_place(netlist: Netlist, region: PlacementRegion, *,
+                   cells: list[Cell] | None = None) -> int:
+    """Legalize-anything fallback: deterministic row-scan packing.
+
+    Ignores current positions entirely — cells are packed left-to-right,
+    row-by-row, around fixed-cell blockages, in a deterministic order
+    (tallest/widest first, then by name).  This is the bottom rung of the
+    degradation ladder: it sacrifices all wirelength quality for the
+    guarantee that any design whose cells physically fit gets a legal
+    placement.
+
+    Returns:
+        The number of cells placed.
+
+    Raises:
+        LegalizationError: some cell fits in no row — the design
+            genuinely does not fit the region.
+    """
+    if cells is None:
+        cells = netlist.movable_cells()
+    rows = [_RowState(y=r.y, x0=r.x, x1=r.x_end, site=r.site_width)
+            for r in region.rows]
+    for blocker in netlist.fixed_cells():
+        if (blocker.x < region.x_end and blocker.x + blocker.width > region.x
+                and blocker.y < region.y_top
+                and blocker.y + blocker.height > region.y):
+            j0 = max(int((blocker.y - region.y) // region.row_height), 0)
+            j1 = min(int(np.ceil((blocker.y + blocker.height - region.y)
+                                 / region.row_height)) - 1,
+                     region.num_rows - 1)
+            for j in range(j0, j1 + 1):
+                a = max(blocker.x, rows[j].x0)
+                b = min(blocker.x + blocker.width, rows[j].x1)
+                if b > a:
+                    rows[j].insert(a, b - a)
+
+    order = sorted(cells, key=lambda c: (-c.height, -c.width, c.name))
+    unplaced: list[str] = []
+    placed = 0
+    for cell in order:
+        chosen: tuple[int, float] | None = None
+        for j, row in enumerate(rows):
+            x = row.first_fit(row.x0, cell.width)
+            if x is not None:
+                chosen = (j, x)
+                break
+        if chosen is None:
+            unplaced.append(cell.name)
+            continue
+        j, x = chosen
+        rows[j].insert(x, cell.width)
+        cell.x = x
+        cell.y = rows[j].y
+        placed += 1
+    if unplaced:
+        raise LegalizationError(
+            f"row-scan packing could not place {len(unplaced)} of "
+            f"{len(cells)} cells — design does not fit the region",
+            design=netlist.name, cells=unplaced)
+    return placed
 
 
 def check_legal(netlist: Netlist, region: PlacementRegion,

@@ -17,6 +17,8 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from ..robust.guards import GuardOptions, IterateGuard
+from ..robust.faults import fault_fires
 from .arrays import PlacementArrays
 from .density import BellDensity, overflow
 from .optimizer import CGOptions, conjugate_gradient
@@ -68,10 +70,16 @@ class NonlinearPlacer:
                  options: NonlinearOptions | None = None,
                  grid: BinGrid | None = None,
                  extra_pairs_x: list[tuple[int, int, float, float]] | None = None,
-                 extra_pairs_y: list[tuple[int, int, float, float]] | None = None):
+                 extra_pairs_y: list[tuple[int, int, float, float]] | None = None,
+                 guard: GuardOptions | None = None,
+                 checkpoint=None):
         self.arrays = arrays
         self.region = region
         self.options = options or NonlinearOptions()
+        self.guard = guard or GuardOptions()
+        # checkpoint(round, x, y): periodic snapshot hook (resume support
+        # mirrors the quadratic engine's)
+        self.checkpoint = checkpoint
         self.grid = grid or default_grid(region, arrays.netlist)
         self.density = BellDensity(arrays, self.grid)
         if self.options.wirelength_model not in WL_MODELS:
@@ -143,6 +151,12 @@ class NonlinearPlacer:
         d_norm = float(np.abs(dgx).sum() + np.abs(dgy).sum())
         lam = (wl_norm / d_norm) * 0.1 if d_norm > 0 else 1.0
 
+        iterate_guard = IterateGuard(
+            self.guard, stage="global_place",
+            design=arrays.netlist.name,
+            bounds=(self.region.x, self.region.y,
+                    self.region.x_end, self.region.y_top),
+            movable=arrays.movable)
         history: list[tuple[float, float]] = []
         rounds = 0
         ovf = overflow(arrays, x, y, self.grid)
@@ -153,9 +167,16 @@ class NonlinearPlacer:
                                         opts.cg)
             x = result.x[:n].copy()
             y = result.x[n:].copy()
+            if fault_fires("solver_nan"):
+                x = x.copy()
+                x[:] = np.nan
             self._clamp(x, y)
             ovf = overflow(arrays, x, y, self.grid)
-            history.append((hpwl(arrays, x, y), ovf))
+            wl = hpwl(arrays, x, y)
+            history.append((wl, ovf))
+            iterate_guard.check(rounds, x, y, overflow=ovf, hpwl=wl)
+            if self.checkpoint is not None:
+                self.checkpoint(rounds, x, y)
             if ovf <= opts.target_overflow:
                 break
             lam *= opts.lambda_growth

@@ -24,6 +24,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from ..robust.guards import GuardedSolve, GuardOptions, IterateGuard
 from ..runtime.telemetry import Tracer
 from .arrays import PlacementArrays
 from .b2b import B2BBuilder
@@ -91,6 +92,12 @@ class QuadraticPlacer:
             ``(cell_i, cell_j, weight, offset)`` added to every solve —
             the structure-aware alignment hooks.
         groups: optional (N,) rigid-group ids for spreading (-1 = free).
+        guard: numerical-guard knobs; every solve and every outer
+            iterate is checked (NaN/Inf, blowup, divergence) and raises
+            :class:`~repro.errors.NumericalError` instead of emitting
+            garbage positions.
+        checkpoint: optional ``(iteration, x, y)`` hook called once per
+            outer iteration — the runtime's checkpoint/resume recorder.
     """
 
     def __init__(self, arrays: PlacementArrays, region: PlacementRegion,
@@ -100,7 +107,9 @@ class QuadraticPlacer:
                  extra_pairs_y: list[tuple[int, int, float, float]] | None = None,
                  groups: np.ndarray | None = None,
                  post_solve=None,
-                 tracer: Tracer | None = None):
+                 tracer: Tracer | None = None,
+                 guard: GuardOptions | None = None,
+                 checkpoint=None):
         self.arrays = arrays
         self.region = region
         self.options = options or GlobalPlaceOptions()
@@ -114,6 +123,10 @@ class QuadraticPlacer:
         # post_solve(x, y): in-place projection hook applied after every
         # solve — used to keep fused rigid groups in formation
         self.post_solve = post_solve
+        self.guard = guard or GuardOptions()
+        # checkpoint(iteration, x, y): periodic snapshot hook used by the
+        # runtime's crash/timeout resume path
+        self.checkpoint = checkpoint
         self._builder = B2BBuilder(arrays)
 
     # ------------------------------------------------------------------
@@ -123,7 +136,10 @@ class QuadraticPlacer:
         system = self._builder.build_axis(coords, offsets, anchors=anchors,
                                           anchor_weight=anchor_w,
                                           extra_pairs=extra)
-        sol = system.solve(x0=coords[system.cells])
+        solve = GuardedSolve(system.solve, stage="global_place",
+                             design=self.arrays.netlist.name,
+                             guard=self.guard)
+        sol = solve(x0=coords[system.cells])
         out = coords.copy()
         out[system.cells] = sol
         return out
@@ -139,31 +155,52 @@ class QuadraticPlacer:
 
     # ------------------------------------------------------------------
     def place(self, x0: np.ndarray | None = None,
-              y0: np.ndarray | None = None) -> GlobalPlaceResult:
-        """Run global placement from the given (or current) positions."""
+              y0: np.ndarray | None = None, *,
+              resume_iteration: int = 0) -> GlobalPlaceResult:
+        """Run global placement from the given (or current) positions.
+
+        Args:
+            x0 / y0: starting positions (defaults to current netlist
+                positions).
+            resume_iteration: when > 0, treat ``x0``/``y0`` as a
+                mid-loop checkpoint taken at that iteration — skip the
+                cold-start centering and initial unanchored solve, and
+                re-enter the loop at the next iteration (so the anchor
+                weight ramp continues where it left off).
+        """
         opts = self.options
         arrays = self.arrays
         if x0 is None or y0 is None:
             x0, y0 = arrays.initial_positions()
         x, y = x0.copy(), y0.copy()
 
-        # Initial wirelength-only solve from region center start.
-        cx, cy = self.region.center
         mv = arrays.movable
-        x[mv] = cx
-        y[mv] = cy
+        region = self.region
+        guard = IterateGuard(self.guard, stage="global_place",
+                             design=arrays.netlist.name,
+                             bounds=(region.x, region.y,
+                                     region.x_end, region.y_top),
+                             movable=mv)
         history: list[IterationStat] = []
         with self.tracer.phase("gp_loop") as ph:
-            x = self._solve_axis(x, arrays.pin_dx, None, 0.0,
-                                 self.extra_pairs_x)
-            y = self._solve_axis(y, arrays.pin_dy, None, 0.0,
-                                 self.extra_pairs_y)
-            self._clamp(x, y)
-            if self.post_solve is not None:
-                self.post_solve(x, y)
+            if resume_iteration <= 0:
+                # Initial wirelength-only solve from region center start.
+                cx, cy = region.center
+                x[mv] = cx
+                y[mv] = cy
+                x = self._solve_axis(x, arrays.pin_dx, None, 0.0,
+                                     self.extra_pairs_x)
+                y = self._solve_axis(y, arrays.pin_dy, None, 0.0,
+                                     self.extra_pairs_y)
+                self._clamp(x, y)
+                if self.post_solve is not None:
+                    self.post_solve(x, y)
+                guard.check(0, x, y)
+            else:
+                self.tracer.event("gp_resume", iteration=resume_iteration)
 
             anchors_x, anchors_y = x, y
-            for it in range(1, opts.max_iterations + 1):
+            for it in range(resume_iteration + 1, opts.max_iterations + 1):
                 # upper bound: spread the current lower-bound solution
                 anchors_x, anchors_y = spread_positions(
                     arrays, x, y, self.region,
@@ -181,6 +218,10 @@ class QuadraticPlacer:
                     elapsed_s=ph.split())
                 history.append(stat)
                 self.tracer.incr("gp.iterations")
+                guard.check(it, x, y, overflow=ovf_lower,
+                            hpwl=stat.hpwl_lower)
+                if self.checkpoint is not None:
+                    self.checkpoint(it, x, y)
                 if ovf_lower <= opts.target_overflow:
                     break
                 # lower bound: anchored quadratic solve

@@ -1,0 +1,149 @@
+"""Checkpoint/resume for global placement.
+
+A :class:`CheckpointStore` persists periodic position snapshots taken
+during the global-placement loop, keyed by the same content-addressed
+job key the artifact cache uses.  A timed-out or crashed job that is
+retried loads the last snapshot and re-enters the loop at the recorded
+iteration instead of cold-starting — the expensive early spreading
+iterations are never repeated.
+
+Checkpoints are JSON with an embedded SHA-256 digest (same discipline as
+:class:`~repro.runtime.cache.ArtifactCache`): a truncated or corrupted
+snapshot is detected on load and treated as "no checkpoint", never as
+garbage positions.  Writes are atomic (temp file + rename), so a job
+killed mid-save leaves the previous snapshot intact.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from dataclasses import dataclass
+from pathlib import Path
+
+import numpy as np
+
+from ..errors import CacheCorruptionError
+
+CHECKPOINT_SCHEMA = 1
+
+
+def _digest(payload: dict) -> str:
+    return hashlib.sha256(
+        json.dumps(payload, sort_keys=True).encode()).hexdigest()
+
+
+@dataclass
+class Checkpoint:
+    """One resumable global-placement snapshot."""
+
+    iteration: int
+    x: np.ndarray
+    y: np.ndarray
+    stage: str = "global_place"
+
+    def matches(self, num_cells: int) -> bool:
+        """True when the snapshot shape fits the design being resumed."""
+        return self.x.shape == (num_cells,) and self.y.shape == (num_cells,)
+
+
+class CheckpointRecorder:
+    """Bound (store, key) hook the engines call once per iteration.
+
+    Saving never raises — a full disk must degrade to "no checkpoint",
+    not sink the placement run.
+    """
+
+    def __init__(self, store: "CheckpointStore", key: str, *,
+                 interval: int = 5):
+        self.store = store
+        self.key = key
+        self.interval = max(interval, 1)
+        self.saved = 0
+
+    def __call__(self, iteration: int, x: np.ndarray, y: np.ndarray,
+                 stage: str = "global_place") -> None:
+        if iteration % self.interval != 0:
+            return
+        try:
+            self.store.save(self.key, iteration, x, y, stage=stage)
+            self.saved += 1
+        except OSError:
+            pass
+
+
+class CheckpointStore:
+    """Durable key -> checkpoint JSON store with digest verification."""
+
+    def __init__(self, root: str | Path, *, interval: int = 5):
+        self.root = Path(root)
+        self.interval = interval
+
+    def path(self, key: str) -> Path:
+        return self.root / key[:2] / f"{key}.ckpt.json"
+
+    def recorder(self, key: str) -> CheckpointRecorder:
+        return CheckpointRecorder(self, key, interval=self.interval)
+
+    # ------------------------------------------------------------------
+    def save(self, key: str, iteration: int, x: np.ndarray, y: np.ndarray,
+             *, stage: str = "global_place") -> Path:
+        payload = {
+            "schema": CHECKPOINT_SCHEMA,
+            "iteration": int(iteration),
+            "stage": stage,
+            "x": np.asarray(x, dtype=float).tolist(),
+            "y": np.asarray(y, dtype=float).tolist(),
+        }
+        record = {"digest": _digest(payload), "payload": payload}
+        path = self.path(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        tmp = path.with_suffix(f".tmp{os.getpid()}")
+        tmp.write_text(json.dumps(record), encoding="utf-8")
+        tmp.replace(path)
+        return path
+
+    def load(self, key: str) -> Checkpoint | None:
+        """The last snapshot for ``key``, or None (missing or corrupt).
+
+        Corrupt/truncated snapshots are evicted and reported as None —
+        resuming from garbage would be worse than a cold start.
+        """
+        try:
+            checkpoint = self.load_verified(key)
+        except CacheCorruptionError:
+            self.clear(key)
+            return None
+        return checkpoint
+
+    def load_verified(self, key: str) -> Checkpoint | None:
+        """Like :meth:`load` but raises on corruption instead of evicting."""
+        path = self.path(key)
+        try:
+            raw = path.read_text(encoding="utf-8")
+        except (FileNotFoundError, OSError):
+            return None
+        try:
+            record = json.loads(raw)
+            payload = record["payload"]
+            if record["digest"] != _digest(payload) \
+                    or payload["schema"] != CHECKPOINT_SCHEMA:
+                raise KeyError("digest")
+            return Checkpoint(
+                iteration=int(payload["iteration"]),
+                x=np.asarray(payload["x"], dtype=float),
+                y=np.asarray(payload["y"], dtype=float),
+                stage=payload.get("stage", "global_place"))
+        except (json.JSONDecodeError, KeyError, TypeError,
+                ValueError) as exc:
+            raise CacheCorruptionError(
+                f"corrupt checkpoint for key {key[:12]}…: {exc}",
+                key=key) from exc
+
+    def clear(self, key: str) -> None:
+        """Drop the snapshot for ``key`` (after a successful run)."""
+        try:
+            self.path(key).unlink()
+        except (FileNotFoundError, OSError):
+            pass

@@ -1,0 +1,69 @@
+"""Fault injection for exercising the fault-tolerance machinery.
+
+The ``REPRO_FAULT_INJECT`` environment variable names faults to force,
+comma-separated.  Each entry is ``name[:count[:skip]]``:
+
+- ``solver_nan`` — poison one solver solution with NaN (fires once);
+- ``solver_nan:*`` — poison every solve;
+- ``solver_nan:2:3`` — skip the first 3 eligible solves, poison the
+  next 2;
+- ``cache_corrupt`` — make the next artifact-cache read see a corrupt
+  entry (exercises the evict-as-miss path).
+
+Injection sites call :func:`fault_fires` with the fault name; the module
+keeps per-process occurrence counters so ``count``/``skip`` windows work
+deterministically.  With the variable unset every call is a cheap
+dictionary miss — production runs pay nothing.
+"""
+
+from __future__ import annotations
+
+import os
+
+ENV_VAR = "REPRO_FAULT_INJECT"
+
+#: per-fault count of eligible occurrences seen so far in this process
+_occurrences: dict[str, int] = {}
+
+
+def _parse_spec(value: str) -> dict[str, tuple[float, int]]:
+    """Parse the env value into ``name -> (count, skip)``."""
+    out: dict[str, tuple[float, int]] = {}
+    for entry in value.split(","):
+        entry = entry.strip()
+        if not entry:
+            continue
+        parts = entry.split(":")
+        name = parts[0]
+        count: float = 1
+        skip = 0
+        if len(parts) > 1 and parts[1]:
+            count = float("inf") if parts[1] == "*" else int(parts[1])
+        if len(parts) > 2 and parts[2]:
+            skip = int(parts[2])
+        out[name] = (count, skip)
+    return out
+
+
+def fault_fires(name: str) -> bool:
+    """True when the named fault should trigger at this call site.
+
+    Every call counts as one eligible occurrence of ``name``; the fault
+    fires for occurrences inside the configured ``[skip, skip+count)``
+    window.
+    """
+    value = os.environ.get(ENV_VAR)
+    if not value:
+        return False
+    spec = _parse_spec(value).get(name)
+    if spec is None:
+        return False
+    count, skip = spec
+    seen = _occurrences.get(name, 0)
+    _occurrences[name] = seen + 1
+    return skip <= seen < skip + count
+
+
+def reset() -> None:
+    """Forget all occurrence counters (test isolation)."""
+    _occurrences.clear()

@@ -14,6 +14,14 @@ built design (:func:`apply_positions`), so no two consumers ever share
 live mutable cell objects — the aliasing hazard the old in-session dict
 cache had.  JSON float round-tripping is exact (shortest-repr), so a
 cache hit reproduces positions bit-identically.
+
+Every stored record embeds a SHA-256 digest of its payload;
+:meth:`ArtifactCache.get` verifies it on read and treats a corrupt or
+truncated entry as a *miss* — the entry is evicted and recomputed, never
+allowed to propagate an unpickling/decoding exception or silently serve
+damaged positions.  :meth:`ArtifactCache.load_verified` exposes the
+strict variant that raises :class:`~repro.errors.CacheCorruptionError`
+for diagnostics.
 """
 
 from __future__ import annotations
@@ -25,9 +33,12 @@ import os
 from pathlib import Path
 
 from ..core import PlacerOptions
+from ..errors import CacheCorruptionError
 from ..netlist import Netlist
+from ..robust.faults import fault_fires
+from .telemetry import Tracer
 
-CACHE_SCHEMA = 1
+CACHE_SCHEMA = 2
 
 
 def _code_version() -> str:
@@ -100,12 +111,20 @@ def apply_positions(netlist: Netlist,
     return moved
 
 
+def _artifact_digest(payload: dict) -> str:
+    return hashlib.sha256(
+        json.dumps(payload, sort_keys=True).encode()).hexdigest()
+
+
 class ArtifactCache:
     """Durable key → JSON-artifact store, safe for concurrent writers.
 
     Writes go through a per-process temp file and :func:`Path.replace`
     (atomic on POSIX), so parallel workers racing on the same key at
-    worst do redundant work — never corrupt an artifact.
+    worst do redundant work — never corrupt an artifact.  Reads verify
+    the embedded payload digest; a failed check evicts the entry and
+    reports a miss (counted as ``cache.corrupt`` when a tracer is
+    supplied).
     """
 
     def __init__(self, root: str | Path):
@@ -115,23 +134,64 @@ class ArtifactCache:
         # two-level fanout keeps directories small for big suites
         return self.root / key[:2] / f"{key}.json"
 
-    def get(self, key: str) -> dict | None:
-        """The stored artifact, or None on miss (or unreadable entry)."""
+    def get(self, key: str, *, tracer: Tracer | None = None) -> dict | None:
+        """The stored artifact payload, or None on miss.
+
+        Corrupt, truncated, or legacy-format entries are evicted and
+        reported as a miss — the job recomputes instead of crashing on a
+        decoding error or consuming damaged positions.
+        """
+        try:
+            return self.load_verified(key)
+        except CacheCorruptionError as exc:
+            self.evict(key)
+            if tracer is not None:
+                tracer.incr("cache.corrupt")
+                tracer.error(exc, key=key)
+            return None
+
+    def load_verified(self, key: str) -> dict | None:
+        """Strict read: the payload, None on miss, or raises
+        :class:`CacheCorruptionError` on a failed digest/format check."""
         path = self.path(key)
         try:
-            with path.open(encoding="utf-8") as fh:
-                return json.load(fh)
-        except (FileNotFoundError, json.JSONDecodeError):
+            raw = path.read_text(encoding="utf-8")
+        except (FileNotFoundError, OSError):
             return None
+        if fault_fires("cache_corrupt"):
+            raw = raw[:max(len(raw) // 2, 1)]  # simulated truncation
+        try:
+            record = json.loads(raw)
+            payload = record["payload"]
+            stored = record["digest"]
+        except (json.JSONDecodeError, KeyError, TypeError) as exc:
+            raise CacheCorruptionError(
+                f"unreadable cache entry for key {key[:12]}…: "
+                f"{type(exc).__name__}", key=key) from exc
+        if not isinstance(payload, dict) \
+                or stored != _artifact_digest(payload):
+            raise CacheCorruptionError(
+                f"artifact digest mismatch for key {key[:12]}…",
+                key=key)
+        return payload
 
     def put(self, key: str, artifact: dict) -> Path:
         path = self.path(key)
         path.parent.mkdir(parents=True, exist_ok=True)
+        record = {"digest": _artifact_digest(artifact),
+                  "payload": artifact}
         tmp = path.with_suffix(f".tmp{os.getpid()}")
-        tmp.write_text(json.dumps(artifact, sort_keys=True),
+        tmp.write_text(json.dumps(record, sort_keys=True),
                        encoding="utf-8")
         tmp.replace(path)
         return path
+
+    def evict(self, key: str) -> None:
+        """Drop one entry (used for corrupt reads); missing is fine."""
+        try:
+            self.path(key).unlink()
+        except (FileNotFoundError, OSError):
+            pass
 
     def __contains__(self, key: str) -> bool:
         return self.path(key).exists()

@@ -7,14 +7,21 @@ consults the durable :class:`~repro.runtime.cache.ArtifactCache` before
 placing: a hit short-circuits the placer entirely (counted as
 ``cache.hit``; ``placer.invocations`` stays untouched), a miss runs the
 full pipeline under a :class:`~repro.runtime.telemetry.Tracer` and
-stores the artifact.
+stores the artifact.  Placement runs through the degradation ladder
+(:func:`~repro.robust.fallback.place_with_fallback`) by default, and a
+:class:`~repro.robust.checkpoint.CheckpointStore` (when supplied) lets a
+crashed or timed-out attempt resume global placement from its last
+snapshot instead of cold-starting.
 
 :class:`BatchExecutor` adds fan-out policy on top: a
 ``concurrent.futures`` process pool when ``workers > 0`` (graceful
 degradation to serial in-process execution at ``workers=0``), per-job
 timeout, and bounded retry when a job raises or its worker crashes —
-the terminal failure is *reported* in the :class:`JobResult`, never
-swallowed and never allowed to sink the rest of the batch.
+the terminal failure is *reported* in the :class:`JobResult` with its
+taxonomy ``error_kind``, never swallowed and never allowed to sink the
+rest of the batch.  Timeouts become retryable when checkpoints are
+enabled (the retry makes forward progress from the snapshot); without
+checkpoints they stay terminal, as before.
 """
 
 from __future__ import annotations
@@ -23,8 +30,10 @@ from concurrent import futures as cf
 from concurrent.futures.process import BrokenProcessPool
 
 from ..core import BaselinePlacer, StructureAwarePlacer
+from ..errors import error_kind
 from ..eval import evaluate_placement
 from ..gen import build_design
+from ..robust.checkpoint import CheckpointStore
 from .cache import ArtifactCache, job_key, snapshot_positions
 from .jobs import JobResult, PlacementJob
 from .telemetry import Tracer
@@ -33,11 +42,25 @@ _PLACERS = {"baseline": BaselinePlacer, "structure": StructureAwarePlacer}
 
 
 def execute_job(job: PlacementJob, *, cache: ArtifactCache | None = None,
-                tracer: Tracer | None = None) -> JobResult:
+                tracer: Tracer | None = None,
+                checkpoints: CheckpointStore | None = None,
+                fallback: bool = True) -> JobResult:
     """Run (or load from cache) one placement job.
 
+    Args:
+        job: the job to run.
+        cache: durable artifact cache (digest-verified on read).
+        tracer: telemetry collector.
+        checkpoints: checkpoint store — enables periodic global-place
+            snapshots and resume-from-snapshot on retry.
+        fallback: run the degradation ladder (True, default) or the bare
+            requested placer.
+
     Raises whatever the pipeline raises — retry/reporting policy belongs
-    to :class:`BatchExecutor`, not here.
+    to :class:`BatchExecutor`, not here.  Degraded results are *not*
+    written to the artifact cache: a warm rerun without the transient
+    fault should recompute at full quality, not replay the degraded
+    positions forever.
     """
     tracer = tracer or Tracer()
     # remember where this job starts so a shared tracer only contributes
@@ -51,7 +74,8 @@ def execute_job(job: PlacementJob, *, cache: ArtifactCache | None = None,
         options = job.resolved_options()
         key = job_key(design.netlist, job.placer, options, job.seed)
 
-        artifact = cache.get(key) if cache is not None else None
+        artifact = cache.get(key, tracer=tracer) if cache is not None \
+            else None
         if artifact is not None:
             tracer.incr("cache.hit")
             result = JobResult.from_artifact(job, artifact, cached=True)
@@ -59,11 +83,29 @@ def execute_job(job: PlacementJob, *, cache: ArtifactCache | None = None,
             if cache is not None:
                 tracer.incr("cache.miss")
             tracer.incr("placer.invocations")
-            placer = _PLACERS[job.placer](options)
-            outcome = placer.place(design.netlist, design.region,
-                                   tracer=tracer)
+            resume = checkpoints.load(key) if checkpoints is not None \
+                else None
+            recorder = checkpoints.recorder(key) \
+                if checkpoints is not None else None
+            if resume is not None:
+                tracer.incr("checkpoint.resumed")
+                tracer.event("checkpoint_resume", key=key,
+                             iteration=resume.iteration)
+            report = None
+            if fallback:
+                from ..robust.fallback import place_with_fallback
+                outcome, report = place_with_fallback(
+                    design.netlist, design.region, options,
+                    placer=job.placer, tracer=tracer,
+                    checkpoint=recorder, resume=resume)
+            else:
+                placer = _PLACERS[job.placer](options)
+                outcome = placer.place(design.netlist, design.region,
+                                       tracer=tracer, checkpoint=recorder,
+                                       resume=resume)
             with tracer.phase("evaluate"):
-                report = evaluate_placement(design.netlist, design.region)
+                report_eval = evaluate_placement(design.netlist,
+                                                 design.region)
             slices = []
             if outcome.extraction is not None:
                 slices = [[c.name for c in s]
@@ -83,18 +125,24 @@ def execute_job(job: PlacementJob, *, cache: ArtifactCache | None = None,
                 detailed_s=outcome.detailed_s,
                 violations=outcome.violations,
                 metrics={
-                    "hpwl": report.hpwl,
-                    "steiner": report.steiner,
-                    "rudy_max": report.congestion.max,
-                    "max_density": report.max_density,
-                    "overflow_fraction": report.overflow_fraction,
-                    "legal": report.legal,
+                    "hpwl": report_eval.hpwl,
+                    "steiner": report_eval.steiner,
+                    "rudy_max": report_eval.congestion.max,
+                    "max_density": report_eval.max_density,
+                    "overflow_fraction": report_eval.overflow_fraction,
+                    "legal": report_eval.legal,
                 },
                 slices=slices,
                 positions=snapshot_positions(design.netlist),
+                degradation=report.to_dict() if report is not None
+                else None,
+                resumed_iteration=resume.iteration if resume is not None
+                else 0,
             )
-            if cache is not None:
+            if cache is not None and not result.degraded:
                 cache.put(key, result.to_artifact())
+            if checkpoints is not None:
+                checkpoints.clear(key)
     result.key = key
     result.events = tracer.events[events_start:]
     result.counters = {
@@ -104,10 +152,15 @@ def execute_job(job: PlacementJob, *, cache: ArtifactCache | None = None,
     return result
 
 
-def _worker_execute(job: PlacementJob, cache_root: str | None) -> JobResult:
+def _worker_execute(job: PlacementJob, cache_root: str | None,
+                    checkpoint_root: str | None = None,
+                    fallback: bool = True) -> JobResult:
     """Top-level pool target (must be picklable by name)."""
     cache = ArtifactCache(cache_root) if cache_root else None
-    return execute_job(job, cache=cache)
+    checkpoints = CheckpointStore(checkpoint_root) if checkpoint_root \
+        else None
+    return execute_job(job, cache=cache, checkpoints=checkpoints,
+                       fallback=fallback)
 
 
 class BatchExecutor:
@@ -116,20 +169,28 @@ class BatchExecutor:
     Args:
         workers: process-pool size; ``0`` runs serially in-process.
         cache: durable artifact cache shared by all workers (optional).
-        timeout_s: per-job wall-clock budget in parallel mode; a timed
-            out job is reported as an error (its worker cannot be
-            reclaimed mid-flight, so timeouts are not retried).
+        timeout_s: per-job wall-clock budget in parallel mode.  A timed
+            out job is retried only when ``checkpoints`` is set (resume
+            makes the retry cheaper than the attempt that timed out);
+            otherwise it is reported as a terminal ``timeout`` error.
         retries: how many times a crashing/raising job is re-executed
             before its failure is reported.
+        checkpoints: checkpoint store shared by all workers — enables
+            crash/timeout resume.
+        fallback: run jobs through the degradation ladder (default).
     """
 
     def __init__(self, workers: int = 0, *,
                  cache: ArtifactCache | None = None,
-                 timeout_s: float | None = None, retries: int = 1):
+                 timeout_s: float | None = None, retries: int = 1,
+                 checkpoints: CheckpointStore | None = None,
+                 fallback: bool = True):
         self.workers = workers
         self.cache = cache
         self.timeout_s = timeout_s
         self.retries = max(retries, 0)
+        self.checkpoints = checkpoints
+        self.fallback = fallback
 
     # ------------------------------------------------------------------
     def run(self, jobs: list[PlacementJob],
@@ -156,14 +217,18 @@ class BatchExecutor:
             while True:
                 attempts += 1
                 try:
-                    result = execute_job(job, cache=self.cache)
+                    result = execute_job(job, cache=self.cache,
+                                         checkpoints=self.checkpoints,
+                                         fallback=self.fallback)
                     result.attempts = attempts
                     break
                 except Exception as exc:
+                    tracer.error(exc, job=job.label)
                     if attempts > self.retries:
                         result = JobResult(job=job, status="error",
                                            attempts=attempts,
-                                           error=repr(exc))
+                                           error=str(exc) or repr(exc),
+                                           error_kind=error_kind(exc))
                         break
                     tracer.incr("executor.retry")
             results.append(result)
@@ -172,46 +237,69 @@ class BatchExecutor:
     def _run_parallel(self, jobs: list[PlacementJob],
                       tracer: Tracer) -> list[JobResult]:
         cache_root = str(self.cache.root) if self.cache else None
+        ckpt_root = str(self.checkpoints.root) if self.checkpoints \
+            else None
+
+        def submit(pool: cf.ProcessPoolExecutor,
+                   job: PlacementJob) -> cf.Future:
+            return pool.submit(_worker_execute, job, cache_root,
+                               ckpt_root, self.fallback)
+
+        def rebuild(pool: cf.ProcessPoolExecutor, after: int,
+                    pending: dict[int, cf.Future]
+                    ) -> cf.ProcessPoolExecutor:
+            """Replace a broken/abandoned pool, resubmitting later jobs."""
+            pool.shutdown(wait=False, cancel_futures=True)
+            fresh = cf.ProcessPoolExecutor(max_workers=self.workers)
+            for j, fut in list(pending.items()):
+                if j > after and not fut.done():
+                    pending[j] = submit(fresh, jobs[j])
+            return fresh
+
         pool = cf.ProcessPoolExecutor(max_workers=self.workers)
-        pending = {idx: pool.submit(_worker_execute, job, cache_root)
-                   for idx, job in enumerate(jobs)}
+        pending = {idx: submit(pool, job) for idx, job in enumerate(jobs)}
         results: list[JobResult | None] = [None] * len(jobs)
         try:
             for idx, job in enumerate(jobs):
                 attempts = 1
                 while True:
                     future = pending[idx]
+                    kind = "other"
                     try:
                         result = future.result(timeout=self.timeout_s)
                         result.attempts = attempts
                         break
                     except cf.TimeoutError:
-                        future.cancel()
-                        result = JobResult(
-                            job=job, status="error", attempts=attempts,
-                            error=f"timeout after {self.timeout_s}s")
-                        break
+                        error = f"timeout after {self.timeout_s}s"
+                        kind = "timeout"
+                        # the stuck worker cannot be reclaimed mid-
+                        # flight: abandon the pool so the retry (or the
+                        # remaining jobs) get fresh workers
+                        pool = rebuild(pool, idx, pending)
+                        if self.checkpoints is None:
+                            # no snapshot to resume from — retrying
+                            # would repeat the same budget-blowing run
+                            result = JobResult(
+                                job=job, status="error", attempts=attempts,
+                                error=error, error_kind=kind)
+                            break
                     except BrokenProcessPool as exc:
                         # the pool is unusable after a worker crash;
                         # rebuild it before retrying or moving on
                         error = repr(exc)
-                        pool.shutdown(wait=False, cancel_futures=True)
-                        pool = cf.ProcessPoolExecutor(
-                            max_workers=self.workers)
-                        for j, fut in list(pending.items()):
-                            if j > idx and not fut.done():
-                                pending[j] = pool.submit(
-                                    _worker_execute, jobs[j], cache_root)
+                        kind = "crash"
+                        pool = rebuild(pool, idx, pending)
                     except Exception as exc:
-                        error = repr(exc)
+                        error = str(exc) or repr(exc)
+                        kind = error_kind(exc)
                     if attempts > self.retries:
                         result = JobResult(job=job, status="error",
-                                           attempts=attempts, error=error)
+                                           attempts=attempts, error=error,
+                                           error_kind=kind)
                         break
                     attempts += 1
                     tracer.incr("executor.retry")
-                    pending[idx] = pool.submit(_worker_execute, job,
-                                               cache_root)
+                    pending[idx] = submit(pool, job)
                 results[idx] = result
         finally:
             pool.shutdown(wait=False, cancel_futures=True)

@@ -58,7 +58,13 @@ class JobResult:
 
     ``cached`` records whether the artifact came from the durable cache;
     ``attempts`` counts executions including retries; ``error`` is the
-    repr of the terminal exception when the job ultimately failed.
+    repr of the terminal exception when the job ultimately failed and
+    ``error_kind`` its taxonomy code (``parse``/``validation``/
+    ``numerical``/``legalization``/``timeout``/``crash``/``other``) —
+    the CLI maps it to the documented exit code.  ``degradation`` is the
+    :class:`~repro.robust.fallback.DegradationReport` dict when the
+    fallback ladder ran; ``resumed_iteration`` is nonzero when global
+    placement resumed from a checkpoint instead of cold-starting.
     """
 
     job: PlacementJob
@@ -66,6 +72,9 @@ class JobResult:
     cached: bool = False
     attempts: int = 1
     error: str | None = None
+    error_kind: str | None = None
+    degradation: dict | None = None
+    resumed_iteration: int = 0
     key: str | None = None
     placer_name: str = ""                   # display name, e.g. "baseline"
     hpwl_gp: float = 0.0
@@ -99,7 +108,8 @@ class JobResult:
             "seed": self.job.seed,
         }
         if not self.ok:
-            row.update({"status": "error", "error": self.error or ""})
+            row.update({"status": "error", "error": self.error or "",
+                        "error_kind": self.error_kind or "other"})
             return row
         row.update({
             "hpwl": round(self.hpwl_final, 1),
@@ -109,7 +119,14 @@ class JobResult:
             "time_s": round(self.runtime_s, 2),
             "cached": self.cached,
         })
+        if self.degradation and self.degradation.get("degraded"):
+            row["rung"] = self.degradation.get("succeeded")
         return row
+
+    @property
+    def degraded(self) -> bool:
+        return bool(self.degradation) and \
+            bool(self.degradation.get("degraded"))
 
     def to_artifact(self) -> dict:
         """The JSON-cacheable subset (no events; traces are per-run)."""
@@ -132,6 +149,7 @@ class JobResult:
             "metrics": self.metrics,
             "slices": self.slices,
             "positions": self.positions,
+            "degradation": self.degradation,
         }
 
     @classmethod
@@ -156,4 +174,5 @@ class JobResult:
             slices=[list(s) for s in artifact.get("slices", [])],
             positions={k: list(v)
                        for k, v in artifact.get("positions", {}).items()},
+            degradation=artifact.get("degradation"),
         )

@@ -16,6 +16,7 @@ from pathlib import Path
 from ..core import PlacerOptions
 from ..eval import format_table
 from ..gen import design_names
+from ..robust.checkpoint import CheckpointStore
 from .cache import ArtifactCache
 from .executor import BatchExecutor
 from .jobs import JobResult, PlacementJob
@@ -79,6 +80,8 @@ def run_suite(designs=None, placers=DEFAULT_PLACERS, *,
               trace_path: str | Path | None = None,
               timeout_s: float | None = None,
               retries: int = 1,
+              checkpoint_dir: str | Path | None = None,
+              fallback: bool = True,
               tracer: Tracer | None = None) -> SuiteResult:
     """Place a batch of designs and return the deterministic result table.
 
@@ -93,15 +96,21 @@ def run_suite(designs=None, placers=DEFAULT_PLACERS, *,
         trace_path: write the full JSONL telemetry trace here.
         timeout_s: per-job timeout in parallel mode.
         retries: crash/raise retry budget per job.
+        checkpoint_dir: enable global-place checkpoints at this directory
+            — timed-out/crashed jobs resume from their last snapshot.
+        fallback: run jobs through the degradation ladder (default).
         tracer: collect telemetry into an existing tracer.
     """
     if designs is None:
         designs = design_names(suite)
     tracer = tracer or Tracer()
     cache = ArtifactCache(cache_dir) if cache_dir is not None else None
+    checkpoints = CheckpointStore(checkpoint_dir) \
+        if checkpoint_dir is not None else None
     jobs = make_jobs(designs, placers, options=options, seed=seed)
     executor = BatchExecutor(workers, cache=cache, timeout_s=timeout_s,
-                             retries=retries)
+                             retries=retries, checkpoints=checkpoints,
+                             fallback=fallback)
     with tracer.phase("suite", designs=list(designs),
                       placers=list(placers), workers=workers):
         results = executor.run(jobs, tracer=tracer)

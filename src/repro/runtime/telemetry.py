@@ -109,6 +109,27 @@ class Tracer:
             record.update(attrs)
         self.events.append(record)
 
+    def error(self, exc: BaseException, **attrs: object) -> None:
+        """Record a structured error event and bump its kind counter.
+
+        Taxonomy errors (:class:`repro.errors.ReproError`) contribute
+        their ``code``/``stage``/``design``; anything else records as
+        kind ``other``.
+        """
+        kind = getattr(exc, "code", "other")
+        self.incr(f"errors.{kind}")
+        detail: dict[str, object] = {
+            "error": str(exc), "error_kind": kind,
+            "exc_type": type(exc).__name__}
+        stage = getattr(exc, "stage", None)
+        if stage:
+            detail["stage"] = stage
+        design = getattr(exc, "design", None)
+        if design:
+            detail["design"] = design
+        detail.update(attrs)
+        self.event("error", **detail)
+
     # -- aggregation ---------------------------------------------------
     def merge(self, events: list[dict], counters: dict[str, int]) -> None:
         """Fold a child tracer's records in (e.g. from a batch worker)."""

@@ -126,3 +126,88 @@ class TestArgErrors:
     def test_bad_placer_choice(self):
         with pytest.raises(SystemExit):
             main(["place", "--placer", "nope"])
+
+
+class TestExitCodes:
+    """The documented exit-code contract (README "Exit codes")."""
+
+    @pytest.fixture(autouse=True)
+    def _clean_faults(self, monkeypatch):
+        from repro.robust import faults
+        monkeypatch.delenv(faults.ENV_VAR, raising=False)
+        faults.reset()
+        yield
+        faults.reset()
+
+    def test_parse_failure_exits_3(self, tmp_path, capsys):
+        code = main(["place", "--aux", str(tmp_path / "missing.aux")])
+        assert code == 3
+        assert "error:" in capsys.readouterr().err
+
+    def test_numerical_failure_exits_5(self, monkeypatch, capsys):
+        from repro.robust import faults
+        monkeypatch.setenv(faults.ENV_VAR, "solver_nan:*")
+        faults.reset()
+        code = main(["place", "--design", "dp_add8",
+                     "--placer", "structure", "--no-fallback"])
+        assert code == 5
+        assert "non-finite" in capsys.readouterr().err
+
+    def test_fallback_absorbs_injected_failure(self, monkeypatch,
+                                               capsys):
+        from repro.robust import faults
+        monkeypatch.setenv(faults.ENV_VAR, "solver_nan")
+        faults.reset()
+        code = main(["place", "--design", "dp_add8",
+                     "--placer", "structure", "--json"])
+        assert code == 0
+        rows = json.loads(capsys.readouterr().out)
+        assert rows[0]["legal"] is True
+        assert rows[0]["rung"] == "structure-relaxed"
+
+    def test_strict_validation_exits_4(self, tmp_path, capsys):
+        # a dangling net: survivable by default, fatal under --strict
+        (tmp_path / "d.aux").write_text(
+            "RowBasedPlacement : d.nodes d.nets d.pl d.scl\n")
+        (tmp_path / "d.nodes").write_text(
+            "UCLA nodes 1.0\na 4 8\nb 4 8\n")
+        (tmp_path / "d.nets").write_text(
+            "UCLA nets 1.0\nNetDegree : 1 lonely\n  a I : 0 0\n")
+        (tmp_path / "d.pl").write_text(
+            "UCLA pl 1.0\na 0 0 : N\nb 4 0 : N\n")
+        (tmp_path / "d.scl").write_text(
+            "UCLA scl 1.0\nNumRows : 1\nCoreRow Horizontal\n"
+            "  Coordinate : 0\n  Height : 8\n  Sitewidth : 1\n"
+            "  SubrowOrigin : 0 NumSites : 64\nEnd\n")
+        aux = str(tmp_path / "d.aux")
+        assert main(["eval", "--aux", aux]) == 0
+        capsys.readouterr()
+        code = main(["eval", "--aux", aux, "--strict"])
+        assert code == 4
+        assert "validation" in capsys.readouterr().err
+
+    def test_run_batch_failure_uses_taxonomy_code(self, monkeypatch,
+                                                  capsys):
+        from repro.robust import faults
+        monkeypatch.setenv(faults.ENV_VAR, "solver_nan:*")
+        faults.reset()
+        code = main(["run", "--designs", "dp_add8",
+                     "--placer", "structure", "--no-cache",
+                     "--no-checkpoint", "--no-fallback",
+                     "--retries", "0"])
+        assert code == 5
+        assert "error:" in capsys.readouterr().err
+
+    def test_run_with_checkpoints_and_fallback_recovers(
+            self, monkeypatch, capsys, tmp_path):
+        from repro.robust import faults
+        monkeypatch.setenv(faults.ENV_VAR, "solver_nan")
+        faults.reset()
+        code = main(["run", "--designs", "dp_add8",
+                     "--placer", "structure", "--no-cache",
+                     "--checkpoint-dir", str(tmp_path / "ckpt"),
+                     "--json"])
+        assert code == 0
+        rows = json.loads(capsys.readouterr().out)
+        assert rows[0]["legal"] is True
+        assert rows[0]["rung"] == "structure-relaxed"

@@ -1,0 +1,166 @@
+"""Degenerate-input tests: empty/tiny/all-fixed designs, zero-area
+cells, and regions too small to legalize — through both placers and the
+degradation ladder."""
+
+import pytest
+
+from repro.core import BaselinePlacer, StructureAwarePlacer
+from repro.errors import LegalizationError, ParseError
+from repro.bookshelf import read_bookshelf
+from repro.netlist import Netlist, default_library
+from repro.place import PlacementRegion, region_for
+from repro.place.legalize import row_scan_place
+from repro.robust import place_with_fallback
+
+PLACERS = [BaselinePlacer, StructureAwarePlacer]
+
+
+@pytest.fixture
+def lib():
+    return default_library()
+
+
+def small_region(lib, width=120.0, rows=8):
+    return PlacementRegion(x=0.0, y=0.0, width=width,
+                           height=rows * lib.row_height,
+                           row_height=lib.row_height,
+                           site_width=lib.site_width)
+
+
+# ----------------------------------------------------------------------
+# empty / minimal netlists
+# ----------------------------------------------------------------------
+
+class TestEmptyAndMinimal:
+    @pytest.mark.parametrize("placer_cls", PLACERS)
+    def test_empty_netlist_places_cleanly(self, lib, placer_cls):
+        netlist = Netlist(name="empty", library=lib)
+        outcome = placer_cls().place(netlist, small_region(lib))
+        assert outcome.violations == 0
+
+    def test_empty_netlist_region_for_is_diagnosed(self, lib):
+        netlist = Netlist(name="empty", library=lib)
+        with pytest.raises(ValueError):
+            region_for(netlist)
+
+    @pytest.mark.parametrize("placer_cls", PLACERS)
+    def test_single_movable_cell(self, lib, placer_cls):
+        netlist = Netlist(name="one", library=lib)
+        netlist.add_cell("u0", lib.get("INV"), x=0.0, y=0.0)
+        region = small_region(lib)
+        outcome = placer_cls().place(netlist, region)
+        assert outcome.violations == 0
+        cell = netlist.cell("u0")
+        assert region.x <= cell.x <= region.x_end
+        assert region.y <= cell.y <= region.y_top
+
+    @pytest.mark.parametrize("placer_cls", PLACERS)
+    def test_all_fixed_design_is_a_noop(self, lib, placer_cls):
+        netlist = Netlist(name="fixed", library=lib)
+        netlist.add_cell("p0", lib.get("INV"), x=0.0, y=0.0, fixed=True)
+        netlist.add_cell("p1", lib.get("INV"), x=12.0, y=16.0, fixed=True)
+        outcome = placer_cls().place(netlist, small_region(lib))
+        assert outcome.violations == 0
+        assert netlist.cell("p0").x == 0.0  # fixed cells never move
+        assert netlist.cell("p1").y == 16.0
+
+    def test_single_cell_through_ladder(self, lib):
+        netlist = Netlist(name="one", library=lib)
+        netlist.add_cell("u0", lib.get("INV"), x=0.0, y=0.0)
+        outcome, report = place_with_fallback(netlist, small_region(lib))
+        assert outcome.violations == 0
+        assert not report.degraded
+
+
+# ----------------------------------------------------------------------
+# region too small to legalize
+# ----------------------------------------------------------------------
+
+class TestRegionTooSmall:
+    def overfull(self, lib, cells=40):
+        netlist = Netlist(name="tiny", library=lib)
+        for i in range(cells):
+            netlist.add_cell(f"u{i}", lib.get("INV"), x=0.0, y=0.0)
+        region = PlacementRegion(x=0.0, y=0.0, width=8.0, height=8.0,
+                                 row_height=lib.row_height,
+                                 site_width=lib.site_width)
+        return netlist, region
+
+    @pytest.mark.parametrize("placer_cls", PLACERS)
+    def test_placers_raise_instead_of_silent_overlap(self, lib,
+                                                     placer_cls):
+        netlist, region = self.overfull(lib)
+        with pytest.raises(LegalizationError) as info:
+            placer_cls().place(netlist, region)
+        assert info.value.cells  # names the victims
+
+    def test_row_scan_raises_with_cell_names(self, lib):
+        netlist, region = self.overfull(lib)
+        with pytest.raises(LegalizationError) as info:
+            row_scan_place(netlist, region)
+        assert info.value.code == "legalization"
+        assert info.value.cells
+
+    def test_ladder_exhausts_and_attaches_report(self, lib):
+        # physically impossible: every rung including row-scan fails,
+        # and the terminal error carries the full attempt record
+        netlist, region = self.overfull(lib)
+        with pytest.raises(LegalizationError) as info:
+            place_with_fallback(netlist, region)
+        degradation = info.value.payload["degradation"]
+        assert degradation["succeeded"] is None
+        assert all(not a["ok"] for a in degradation["attempts"])
+
+    def test_barely_fits_recovers_via_row_scan(self, lib):
+        # GP/legalization heuristics give up, but a dense deterministic
+        # packing fits: the bottom rung must save the run
+        netlist = Netlist(name="snug", library=lib)
+        for i in range(16):
+            netlist.add_cell(f"u{i}", lib.get("INV"), x=0.0, y=0.0)
+        region = small_region(lib, width=16.0, rows=2)
+        row_scan_place(netlist, region)
+        from repro.place.legalize import check_legal
+        assert check_legal(netlist, region) == []
+
+
+# ----------------------------------------------------------------------
+# zero-area cells (via the Bookshelf reader)
+# ----------------------------------------------------------------------
+
+def write_bundle(tmp_path, nodes_lines):
+    (tmp_path / "d.aux").write_text(
+        "RowBasedPlacement : d.nodes d.nets d.pl d.scl\n")
+    (tmp_path / "d.nodes").write_text("UCLA nodes 1.0\n"
+                                      + "\n".join(nodes_lines) + "\n")
+    (tmp_path / "d.nets").write_text(
+        "UCLA nets 1.0\nNetDegree : 2 n0\n  a I : 0 0\n  b O : 0 0\n")
+    (tmp_path / "d.pl").write_text("UCLA pl 1.0\na 0 0 : N\nb 4 0 : N\n")
+    (tmp_path / "d.scl").write_text(
+        "UCLA scl 1.0\nNumRows : 1\nCoreRow Horizontal\n"
+        "  Coordinate : 0\n  Height : 8\n  Sitewidth : 1\n"
+        "  SubrowOrigin : 0 NumSites : 64\nEnd\n")
+    return tmp_path / "d.aux"
+
+
+class TestZeroAreaCells:
+    def test_zero_area_movable_is_rejected(self, tmp_path):
+        aux = write_bundle(tmp_path, ["a 0 0", "b 4 8"])
+        with pytest.raises(ParseError) as info:
+            read_bookshelf(aux)
+        assert "non-positive size" in str(info.value)
+        assert info.value.line is not None
+
+    def test_negative_size_movable_is_rejected(self, tmp_path):
+        aux = write_bundle(tmp_path, ["a -4 8", "b 4 8"])
+        with pytest.raises(ParseError):
+            read_bookshelf(aux)
+
+    def test_zero_area_terminal_gets_epsilon_footprint(self, tmp_path):
+        aux = write_bundle(tmp_path, ["a 4 8", "b 0 0 terminal"])
+        design = read_bookshelf(aux)
+        pad = design.netlist.cell("b")
+        assert pad.fixed
+        assert 0 < pad.width <= 1e-5
+        # and the design still places
+        outcome = BaselinePlacer().place(design.netlist, design.region)
+        assert outcome.violations == 0
