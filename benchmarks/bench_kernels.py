@@ -1,0 +1,275 @@
+"""Perf-regression harness for the vectorized kernel layer.
+
+Times every kernel in :mod:`repro.kernels` against its retained scalar
+reference on a large generated design, checks 1e-9 relative equivalence
+(exit 1 on disagreement — the hard CI gate), and measures end-to-end
+``StructureAwarePlacer`` wall time at three sizes.  Results land in
+``BENCH_PERF.json`` (repo root by default) for the CI artifact upload;
+timings are logged, not gated — only equivalence fails the job.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_kernels.py [--quick]
+        [--out BENCH_PERF.json]
+
+``--quick`` shrinks the kernel design and the end-to-end sizes so the CI
+perf-smoke job finishes in ~a minute; the committed BENCH_PERF.json
+comes from a full run.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.core import PlacerOptions, StructureAwarePlacer
+from repro.gen import datapath_fraction_design
+from repro.kernels import (IncrementalHPWL, bell_value_grad, hpwl_kernel,
+                           hpwl_per_net_kernel, rasterize_overlap)
+from repro.kernels.reference import (bell_value_grad_reference,
+                                     hpwl_per_net_reference, hpwl_reference,
+                                     incident_cost_reference,
+                                     rasterize_overlap_reference)
+from repro.place import PlacementArrays
+from repro.place.b2b import B2BBuilder
+
+EQUIV_RTOL = 1e-9
+
+
+def _best_of(fn, repeats: int) -> float:
+    """Best wall time of ``repeats`` calls (min filters scheduler noise)."""
+    best = float("inf")
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def _rel_err(got, want) -> float:
+    got = np.asarray(got, dtype=float)
+    want = np.asarray(want, dtype=float)
+    scale = np.maximum(np.abs(want), 1e-12)
+    return float(np.max(np.abs(got - want) / scale)) if got.size else 0.0
+
+
+def _record(name: str, ref_s: float, vec_s: float, err: float,
+            failures: list[str]) -> dict:
+    speedup = ref_s / max(vec_s, 1e-12)
+    ok = err <= EQUIV_RTOL
+    if not ok:
+        failures.append(f"{name}: max rel err {err:.3e} > {EQUIV_RTOL:g}")
+    print(f"  {name:<18} ref {ref_s * 1e3:9.2f} ms   "
+          f"vec {vec_s * 1e3:9.2f} ms   {speedup:7.1f}x   "
+          f"err {err:.1e} {'OK' if ok else 'FAIL'}")
+    return {"reference_s": round(ref_s, 6), "vectorized_s": round(vec_s, 6),
+            "speedup": round(speedup, 2), "max_rel_err": err,
+            "equivalent": ok}
+
+
+def bench_kernels(n_cells: int, failures: list[str]) -> dict:
+    """Kernel-vs-reference timings on one generated design."""
+    print(f"kernel design: {n_cells} cells (datapath fraction 0.55)")
+    gd = datapath_fraction_design(f"bench_{n_cells}", n_cells, 0.55, seed=3)
+    nl = gd.netlist
+    arrays = PlacementArrays.build(nl)
+    x, y = arrays.initial_positions()
+    px, py = arrays.pin_positions(x, y)
+    starts = arrays.net_start
+    weights = arrays.net_weight
+    out: dict = {"design_cells": nl.num_cells, "nets": arrays.num_nets,
+                 "pins": int(starts[-1])}
+
+    # --- total + per-net HPWL -----------------------------------------
+    want = hpwl_reference(px, py, starts, weights)
+    got = hpwl_kernel(px, py, starts, weights)
+    out["hpwl"] = _record(
+        "hpwl", _best_of(lambda: hpwl_reference(px, py, starts, weights), 2),
+        _best_of(lambda: hpwl_kernel(px, py, starts, weights), 5),
+        _rel_err(got, want), failures)
+
+    want = hpwl_per_net_reference(px, py, starts)
+    got = hpwl_per_net_kernel(px, py, starts)
+    out["hpwl_per_net"] = _record(
+        "hpwl_per_net",
+        _best_of(lambda: hpwl_per_net_reference(px, py, starts), 2),
+        _best_of(lambda: hpwl_per_net_kernel(px, py, starts), 5),
+        _rel_err(got, want), failures)
+
+    # --- density rasterization + bell gradient ------------------------
+    half_w = arrays.width / 2.0
+    half_h = arrays.height / 2.0
+    xl, xr = x - half_w, x + half_w
+    yb, yt = y - half_h, y + half_h
+    region = gd.region
+    nx = ny = 48
+    grid = dict(nx=nx, ny=ny, bin_w=(region.x_end - region.x) / nx,
+                bin_h=(region.y_top - region.y) / ny,
+                origin_x=region.x, origin_y=region.y)
+    want = rasterize_overlap_reference(xl, xr, yb, yt, **grid)
+    got = rasterize_overlap(xl, xr, yb, yt, **grid)
+    out["density_raster"] = _record(
+        "density_raster",
+        _best_of(lambda: rasterize_overlap_reference(xl, xr, yb, yt,
+                                                     **grid), 2),
+        _best_of(lambda: rasterize_overlap(xl, xr, yb, yt, **grid), 5),
+        _rel_err(got, want), failures)
+
+    mv = arrays.movable
+    cell_area = arrays.width * arrays.height
+    bell = dict(cx=region.x + (np.arange(nx) + 0.5) * grid["bin_w"],
+                cy=region.y + (np.arange(ny) + 0.5) * grid["bin_h"],
+                bin_w=grid["bin_w"], bin_h=grid["bin_h"],
+                origin_x=region.x, origin_y=region.y,
+                target=np.full((nx, ny),
+                               grid["bin_w"] * grid["bin_h"] * 0.9))
+    bx, by = x[mv], y[mv]
+    bw, bh, ba = half_w[mv], half_h[mv], cell_area[mv]
+    want = bell_value_grad_reference(bx, by, bw, bh, ba, **bell)
+    got = bell_value_grad(bx, by, bw, bh, ba, **bell)
+    err = max(_rel_err(got[0], want[0]), _rel_err(got[1], want[1]),
+              _rel_err(got[2], want[2]))
+    out["density_bell"] = _record(
+        "density_bell",
+        _best_of(lambda: bell_value_grad_reference(bx, by, bw, bh, ba,
+                                                   **bell), 2),
+        _best_of(lambda: bell_value_grad(bx, by, bw, bh, ba, **bell), 3),
+        err, failures)
+
+    # --- B2B system assembly ------------------------------------------
+    builder = B2BBuilder(arrays)
+    want_sys = builder.build_axis_reference(x, arrays.pin_dx, anchors=x,
+                                            anchor_weight=0.05)
+    got_sys = builder.build_axis(x, arrays.pin_dx, anchors=x,
+                                 anchor_weight=0.05)
+    diff = got_sys.A - want_sys.A
+    a_err = 0.0 if diff.nnz == 0 else \
+        float(np.abs(diff.data).max()
+              / max(np.abs(want_sys.A.data).max(), 1e-12))
+    err = max(a_err, _rel_err(got_sys.b, want_sys.b))
+    out["b2b_assembly"] = _record(
+        "b2b_assembly",
+        _best_of(lambda: builder.build_axis_reference(
+            x, arrays.pin_dx, anchors=x, anchor_weight=0.05), 2),
+        _best_of(lambda: builder.build_axis(
+            x, arrays.pin_dx, anchors=x, anchor_weight=0.05), 5),
+        err, failures)
+
+    # --- incremental swap evaluation ----------------------------------
+    inc = IncrementalHPWL(nl)
+    cells = nl.movable_cells()
+    rng = np.random.default_rng(7)
+    n_moves = 2000
+    picks = rng.integers(0, len(cells), size=(n_moves, 2))
+
+    def eval_reference() -> float:
+        total = 0.0
+        for pa, pb in picks:
+            a, b = cells[pa], cells[pb]
+            if a is b:
+                continue
+            before = incident_cost_reference(nl, (a, b))
+            a.x, b.x = b.x, a.x
+            a.y, b.y = b.y, a.y
+            after = incident_cost_reference(nl, (a, b))
+            a.x, b.x = b.x, a.x          # always reject: pure evaluation
+            a.y, b.y = b.y, a.y
+            total += after - before
+        return total
+
+    def eval_incremental() -> float:
+        total = 0.0
+        for pa, pb in picks:
+            a, b = cells[pa], cells[pb]
+            if a is b:
+                continue
+            before, after = inc.propose([a.index, b.index],
+                                        [b.x, a.x], [b.y, a.y])
+            inc.rollback()
+            total += after - before
+        return total
+
+    want_total = eval_reference()
+    got_total = eval_incremental()
+    ref_s = _best_of(eval_reference, 1)
+    vec_s = _best_of(eval_incremental, 2)
+    out["incremental_swap"] = _record(
+        "incremental_swap", ref_s / n_moves * 1.0, vec_s / n_moves * 1.0,
+        _rel_err(got_total, want_total), failures)
+    out["incremental_swap"]["moves"] = n_moves
+    out["incremental_swap"]["reference_s"] = round(ref_s, 6)
+    out["incremental_swap"]["vectorized_s"] = round(vec_s, 6)
+    return out
+
+
+def bench_end_to_end(sizes: tuple[int, ...]) -> list[dict]:
+    """End-to-end StructureAwarePlacer wall time + final HPWL per size."""
+    rows = []
+    for n in sizes:
+        gd = datapath_fraction_design(f"f4_{n}", n, 0.55, seed=9)
+        t0 = time.perf_counter()
+        outcome = StructureAwarePlacer(PlacerOptions(seed=0)).place(
+            gd.netlist, gd.region)
+        dt = time.perf_counter() - t0
+        row = {"design": f"f4_{n}", "cells": gd.netlist.num_cells,
+               "time_s": round(dt, 3),
+               "hpwl": round(gd.netlist.hpwl(), 3),
+               "legal": bool(outcome.legal)}
+        rows.append(row)
+        print(f"  {row['design']:<10} {row['cells']:>6} cells   "
+              f"{row['time_s']:7.2f} s   hpwl {row['hpwl']:.1f}   "
+              f"legal={row['legal']}")
+    return rows
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true",
+                        help="small design + sizes for the CI smoke job")
+    parser.add_argument("--out", default="BENCH_PERF.json",
+                        help="output JSON path (default: repo root)")
+    args = parser.parse_args(argv)
+
+    n_cells = 4000 if args.quick else 20000
+    sizes = (400, 800) if args.quick else (800, 1600, 3200)
+    failures: list[str] = []
+
+    print("== kernel timings vs retained references ==")
+    kernels = bench_kernels(n_cells, failures)
+    print("== end-to-end structure-aware placement ==")
+    end_to_end = bench_end_to_end(sizes)
+
+    report = {
+        "config": {
+            "quick": bool(args.quick),
+            "kernel_design_cells": kernels["design_cells"],
+            "equivalence_rtol": EQUIV_RTOL,
+            "python": sys.version.split()[0],
+            "numpy": np.__version__,
+        },
+        "kernels": {k: v for k, v in kernels.items()
+                    if isinstance(v, dict)},
+        "end_to_end": end_to_end,
+        "notes": ("Timings are informational; only kernel/reference "
+                  "equivalence (1e-9 rtol) gates CI. incremental_swap "
+                  "times cover the full move batch; per-move speedup is "
+                  "the ratio."),
+    }
+    out_path = Path(args.out)
+    out_path.write_text(json.dumps(report, indent=2) + "\n")
+    print(f"wrote {out_path}")
+    if failures:
+        print("EQUIVALENCE FAILURES:")
+        for f in failures:
+            print(f"  {f}")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

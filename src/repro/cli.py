@@ -38,7 +38,7 @@ from .eval import evaluate_placement, format_table, score_extraction
 from .gen import build_design, design_names, suite_names
 from .netlist import compute_stats
 from .netlist.validate import errors as validation_errors, validate
-from .runtime import apply_positions, run_suite
+from .runtime import apply_positions, render_profile, run_suite
 
 _PLACER_SETS = {
     "baseline": ("baseline",),
@@ -137,6 +137,8 @@ def _cmd_place(args: argparse.Namespace) -> int:
                 design.netlist, design.region, args.out,
                 design=f"{design.netlist.name}_{result.placer_name}")
     _emit(rows, "placement results", args.json)
+    if args.profile:
+        print(render_profile(suite_result.tracer))
     return 0
 
 
@@ -145,16 +147,19 @@ def _place_aux(args: argparse.Namespace, placers: tuple[str, ...],
     """Bookshelf bundles cannot be rebuilt inside a worker, so --aux
     placements always run serially in-process."""
     from .robust.fallback import place_with_fallback
+    from .runtime import Tracer
     rows = []
     classes = {"baseline": BaselinePlacer, "structure": StructureAwarePlacer}
+    tracer = Tracer() if args.profile else None
     for name in placers:
         netlist, region, _truth = _load(args)
         degradation = None
         if args.no_fallback:
-            outcome = classes[name](options).place(netlist, region)
+            outcome = classes[name](options).place(netlist, region,
+                                                   tracer=tracer)
         else:
             outcome, degradation = place_with_fallback(
-                netlist, region, options, placer=name)
+                netlist, region, options, placer=name, tracer=tracer)
         report = evaluate_placement(netlist, region)
         row = outcome.row()
         row["steiner"] = round(report.steiner, 1)
@@ -166,6 +171,8 @@ def _place_aux(args: argparse.Namespace, placers: tuple[str, ...],
             write_bookshelf(netlist, region, args.out,
                             design=f"{netlist.name}_{outcome.placer}")
     _emit(rows, "placement results", args.json)
+    if tracer is not None:
+        print(render_profile(tracer))
     return 0
 
 
@@ -195,6 +202,8 @@ def _cmd_run(args: argparse.Namespace) -> int:
               f"failures={counters.get('executor.failures', 0)}")
         if suite_result.trace_path:
             print(f"trace written to {suite_result.trace_path}")
+    if args.profile:
+        print(render_profile(suite_result.tracer))
     for failure in suite_result.failures:
         print(f"error: {failure.job.label}: {failure.error}",
               file=sys.stderr)
@@ -249,6 +258,10 @@ def main(argv: list[str] | None = None) -> int:
         p.add_argument("--no-fallback", action="store_true",
                        help="disable the degradation ladder; the first "
                             "engine failure is terminal")
+        p.add_argument("--profile", action="store_true",
+                       help="print the telemetry span tree (per-phase "
+                            "wall time, solve counts, cache hits) after "
+                            "the results")
 
     p_gen = sub.add_parser("gen", help="emit a design as Bookshelf files")
     add_design_args(p_gen, with_aux=False)

@@ -37,10 +37,26 @@ class AlignmentForces:
     def extend(self, other: "AlignmentForces") -> None:
         self.pairs_x.extend(other.pairs_x)
         self.pairs_y.extend(other.pairs_y)
+        self._arrays_cache = None
 
     @property
     def count(self) -> int:
         return len(self.pairs_x) + len(self.pairs_y)
+
+    def as_arrays(self):
+        """Both axes as flat ``(K, 4)`` float arrays ``(x_pairs, y_pairs)``
+        for the vectorized assembly/objective kernels; cached — callers
+        that mutate the pair lists must go through :meth:`extend` (or
+        clear ``_arrays_cache``) to invalidate."""
+        import numpy as np
+
+        cached = getattr(self, "_arrays_cache", None)
+        if cached is None:
+            cached = (
+                np.asarray(self.pairs_x, dtype=float).reshape(-1, 4),
+                np.asarray(self.pairs_y, dtype=float).reshape(-1, 4))
+            self._arrays_cache = cached
+        return cached
 
 
 def base_weight(arrays: PlacementArrays) -> float:

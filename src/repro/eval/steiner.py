@@ -10,33 +10,49 @@ uses the standard academic ladder:
   placements so ratios are meaningful.
 
 :func:`steiner_length` evaluates one pin set; :func:`total_steiner`
-evaluates a whole placement.
+evaluates a whole placement.  ``total_steiner`` flattens the netlist once
+and scores every <= 3-pin net in one batched HPWL kernel call — for
+typical designs that covers the overwhelming majority of nets, leaving
+the Prim loop only for the multi-pin tail.  MST *total weight* is unique
+even under distance ties, so the compacted Prim here and the masked
+reference (:func:`repro.kernels.reference.rmst_length_reference`) always
+agree.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
+from ..kernels import hpwl_per_net_kernel
 from ..netlist import Netlist
+from ..place.arrays import PlacementArrays
 
 
 def rmst_length(xs: np.ndarray, ys: np.ndarray) -> float:
-    """Rectilinear MST length over points via Prim's algorithm, O(n^2)."""
+    """Rectilinear MST length over points via Prim's algorithm, O(n^2).
+
+    The frontier is compacted with swap-with-last removal, so every
+    iteration scans only the cells still outside the tree — about half
+    the work of the masked variant and no re-masking pass.
+    """
     n = len(xs)
     if n <= 1:
         return 0.0
-    in_tree = np.zeros(n, dtype=bool)
-    dist = np.abs(xs - xs[0]) + np.abs(ys - ys[0])
-    in_tree[0] = True
-    dist[0] = np.inf
+    rx = np.asarray(xs[1:], dtype=float).copy()
+    ry = np.asarray(ys[1:], dtype=float).copy()
+    dist = np.abs(rx - xs[0]) + np.abs(ry - ys[0])
     total = 0.0
+    m = n - 1
     for _ in range(n - 1):
-        k = int(np.argmin(dist))
+        k = int(np.argmin(dist[:m]))
         total += float(dist[k])
-        in_tree[k] = True
-        new_d = np.abs(xs - xs[k]) + np.abs(ys - ys[k])
-        dist = np.minimum(dist, new_d)
-        dist[in_tree] = np.inf
+        cx, cy = rx[k], ry[k]
+        m -= 1
+        rx[k], ry[k], dist[k] = rx[m], ry[m], dist[m]
+        if m == 0:
+            break
+        nd = np.abs(rx[:m] - cx) + np.abs(ry[:m] - cy)
+        np.minimum(dist[:m], nd, out=dist[:m])
     return total
 
 
@@ -55,13 +71,30 @@ def steiner_length(xs: np.ndarray, ys: np.ndarray) -> float:
 def total_steiner(netlist: Netlist, *, use_weights: bool = True,
                   skip_zero_weight: bool = True) -> float:
     """Total Steiner-estimate wirelength of a placement."""
+    arrays = PlacementArrays.build(netlist, min_degree=2,
+                                   skip_zero_weight=skip_zero_weight)
+    if arrays.num_nets == 0:
+        return 0.0
+    x, y = arrays.initial_positions()
+    px, py = arrays.pin_positions(x, y)
+    weights = arrays.net_weight if use_weights \
+        else np.ones(arrays.num_nets)
+    degs = arrays.net_degrees()
+    small = degs <= 3
+
     total = 0.0
-    for net in netlist.nets:
-        if net.degree < 2:
-            continue
-        if skip_zero_weight and net.weight == 0.0:
-            continue
-        pts = np.array([ref.position() for ref in net.pins])
-        length = steiner_length(pts[:, 0], pts[:, 1])
-        total += (net.weight if use_weights else 1.0) * length
+    if small.any():
+        # gather the small nets' pins contiguously, then one batched HPWL
+        idx = np.nonzero(small)[0]
+        s = arrays.net_start[idx]
+        lens = degs[idx]
+        local_starts = np.concatenate(([0], np.cumsum(lens)))
+        pin_idx = np.repeat(s - local_starts[:-1], lens) \
+            + np.arange(local_starts[-1], dtype=np.int64)
+        lengths = hpwl_per_net_kernel(px[pin_idx], py[pin_idx],
+                                      local_starts)
+        total += float(np.dot(weights[idx], lengths))
+    for j in np.nonzero(~small)[0]:
+        s, e = arrays.net_start[j], arrays.net_start[j + 1]
+        total += weights[j] * rmst_length(px[s:e], py[s:e])
     return float(total)

@@ -1,0 +1,122 @@
+"""Vectorized bound-to-bound (B2B) net-model kernels.
+
+The B2B model connects every pin of a net to the net's min and max
+(boundary) pins with distance-normalised weights.  The scalar assembly
+in :mod:`repro.place.b2b` walked every net in Python; these kernels
+compute boundary pins, enumerate all B2B pairs, and scatter them into
+the sparse-system triplets with ``np.bincount`` — one pass over flat
+arrays per axis.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def boundary_pins(pin_pos: np.ndarray, net_start: np.ndarray,
+                  pin_net: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Per-net (lo, hi) boundary pin indices, first occurrence.
+
+    Matches ``argmin`` / ``argmax`` tie-breaking of the scalar code: the
+    first pin attaining the extreme wins.  Degenerate nets whose pins
+    are all coincident get ``hi = lo + 1`` (the scalar fallback), which
+    is safe because callers only pass nets of degree >= 2.
+    """
+    if len(net_start) <= 1:
+        empty = np.empty(0, dtype=np.int64)
+        return empty, empty
+    seeds = net_start[:-1]
+    net_min = np.minimum.reduceat(pin_pos, seeds)
+    net_max = np.maximum.reduceat(pin_pos, seeds)
+    idx = np.arange(pin_pos.shape[0], dtype=np.int64)
+    big = pin_pos.shape[0]
+    lo = np.minimum.reduceat(
+        np.where(pin_pos == net_min[pin_net], idx, big), seeds)
+    hi = np.minimum.reduceat(
+        np.where(pin_pos == net_max[pin_net], idx, big), seeds)
+    degenerate = lo == hi
+    hi[degenerate] = lo[degenerate] + 1
+    return lo, hi
+
+
+def b2b_pairs(pin_pos: np.ndarray, net_start: np.ndarray,
+              net_weight: np.ndarray, pin_cell: np.ndarray,
+              offsets: np.ndarray, pin_net: np.ndarray, eps: float
+              ) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """All B2B pair terms for one axis.
+
+    For each net: the boundary pair (lo, hi) plus, for every interior
+    pin k, the pairs (k, lo) and (k, hi); pair weight is
+    ``weight * 2 / ((deg - 1) * max(|d|, eps))``.  Pairs joining two
+    pins of the same cell are dropped (they contribute nothing).
+
+    Returns:
+        ``(cell_a, cell_b, w, const)`` arrays where ``const`` is
+        ``offsets[a] - offsets[b]`` — the fixed part of the separation.
+    """
+    degrees = np.diff(net_start)
+    if degrees.size == 0:
+        empty_i = np.empty(0, dtype=np.int64)
+        return empty_i, empty_i.copy(), np.empty(0), np.empty(0)
+    live = degrees >= 2
+    lo, hi = boundary_pins(pin_pos, net_start, pin_net)
+    wnet = np.zeros(len(degrees))
+    wnet[live] = net_weight[live] * 2.0 / (degrees[live] - 1)
+
+    pin_idx = np.arange(pin_pos.shape[0], dtype=np.int64)
+    lo_of = lo[pin_net]
+    hi_of = hi[pin_net]
+    interior = (pin_idx != lo_of) & (pin_idx != hi_of) & live[pin_net]
+
+    a = np.concatenate([lo[live], pin_idx[interior], pin_idx[interior]])
+    b = np.concatenate([hi[live], lo_of[interior], hi_of[interior]])
+    wn = np.concatenate([wnet[live], wnet[pin_net[interior]],
+                         wnet[pin_net[interior]]])
+
+    dist = np.abs(pin_pos[a] - pin_pos[b])
+    w = wn / np.maximum(dist, eps)
+    const = offsets[a] - offsets[b]
+    ca = pin_cell[a]
+    cb = pin_cell[b]
+    keep = ca != cb
+    return ca[keep], cb[keep], w[keep], const[keep]
+
+
+def assemble_pairs(cell_a: np.ndarray, cell_b: np.ndarray, w: np.ndarray,
+                   const: np.ndarray, row_of: np.ndarray,
+                   coords: np.ndarray, m: int
+                   ) -> tuple[np.ndarray, np.ndarray, np.ndarray,
+                              np.ndarray, np.ndarray]:
+    """Scatter pair terms ``w * (p_a - p_b + const)^2`` into triplets.
+
+    Args:
+        cell_a / cell_b / w / const: pair arrays.
+        row_of: (N,) dense row of each movable cell, -1 for fixed.
+        coords: (N,) current axis coordinates (fixed-side constants).
+        m: number of movable rows.
+
+    Returns:
+        ``(diag, b, rows, cols, vals)`` — diagonal and right-hand-side
+        accumulators plus off-diagonal COO triplets.
+    """
+    ra = row_of[cell_a]
+    rb = row_of[cell_b]
+    both = (ra >= 0) & (rb >= 0)
+    only_a = (ra >= 0) & (rb < 0)
+    only_b = (ra < 0) & (rb >= 0)
+
+    def bc(rows: np.ndarray, weights: np.ndarray) -> np.ndarray:
+        return np.bincount(rows, weights=weights, minlength=m)
+
+    diag = (bc(ra[both], w[both]) + bc(rb[both], w[both])
+            + bc(ra[only_a], w[only_a]) + bc(rb[only_b], w[only_b]))
+    b = (-bc(ra[both], w[both] * const[both])
+         + bc(rb[both], w[both] * const[both])
+         + bc(ra[only_a],
+              w[only_a] * (coords[cell_b[only_a]] - const[only_a]))
+         + bc(rb[only_b],
+              w[only_b] * (coords[cell_a[only_b]] + const[only_b])))
+    rows = np.concatenate([ra[both], rb[both]])
+    cols = np.concatenate([rb[both], ra[both]])
+    vals = np.concatenate([-w[both], -w[both]])
+    return diag, b, rows, cols, vals

@@ -18,6 +18,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from ..kernels import IncrementalHPWL
 from ..netlist import Cell, Netlist
 from .legalize import tetris_legalize
 from .region import PlacementRegion
@@ -45,6 +46,8 @@ class AnnealResult:
 
 
 def _incident_hpwl(netlist: Netlist, cells: list[Cell]) -> float:
+    """Object-model incident-HPWL walk (one-off queries only; the anneal
+    loop itself runs on :class:`~repro.kernels.IncrementalHPWL`)."""
     seen: set[int] = set()
     total = 0.0
     for cell in cells:
@@ -54,6 +57,23 @@ def _incident_hpwl(netlist: Netlist, cells: list[Cell]) -> float:
             seen.add(net.index)
             total += net.weight * net.hpwl()
     return total
+
+
+def _probe_swap(inc: IncrementalHPWL, a: Cell, b: Cell) -> float:
+    """Swap ``a``/``b`` and propose the move to the oracle; returns the
+    touched-net cost delta.  The move is left pending: follow with
+    ``inc.commit()`` to accept or ``_revert_swap`` to reject."""
+    a.x, b.x = b.x, a.x
+    a.y, b.y = b.y, a.y
+    before, after = inc.propose([a.index, b.index],
+                                [a.x, b.x], [a.y, b.y])
+    return after - before
+
+
+def _revert_swap(inc: IncrementalHPWL, a: Cell, b: Cell) -> None:
+    a.x, b.x = b.x, a.x
+    a.y, b.y = b.y, a.y
+    inc.rollback()
 
 
 def anneal_place(netlist: Netlist, region: PlacementRegion,
@@ -74,6 +94,7 @@ def anneal_place(netlist: Netlist, region: PlacementRegion,
 
     # start from a legal placement
     tetris_legalize(netlist, region)
+    inc = IncrementalHPWL(netlist)
 
     # estimate initial temperature from random-move cost deltas
     deltas: list[float] = []
@@ -82,14 +103,10 @@ def anneal_place(netlist: Netlist, region: PlacementRegion,
         b = cells[int(rng.integers(len(cells)))]
         if a is b or a.width != b.width or a.height != b.height:
             continue
-        before = _incident_hpwl(netlist, [a, b])
-        a.x, b.x = b.x, a.x
-        a.y, b.y = b.y, a.y
-        after = _incident_hpwl(netlist, [a, b])
-        a.x, b.x = b.x, a.x
-        a.y, b.y = b.y, a.y
-        if after > before:
-            deltas.append(after - before)
+        delta = _probe_swap(inc, a, b)
+        _revert_swap(inc, a, b)
+        if delta > 0:
+            deltas.append(delta)
     avg_uphill = float(np.mean(deltas)) if deltas else 1.0
     temperature = -avg_uphill / np.log(opts.initial_accept)
     t_min = temperature * opts.min_temperature_ratio
@@ -111,15 +128,12 @@ def anneal_place(netlist: Netlist, region: PlacementRegion,
             b = pool[int(rng.integers(len(pool)))]
             if a is b:
                 continue
-            before = _incident_hpwl(netlist, [a, b])
-            a.x, b.x = b.x, a.x
-            a.y, b.y = b.y, a.y
-            delta = _incident_hpwl(netlist, [a, b]) - before
+            delta = _probe_swap(inc, a, b)
             if delta <= 0 or rng.random() < np.exp(-delta / temperature):
+                inc.commit()
                 accepted += 1
             else:
-                a.x, b.x = b.x, a.x
-                a.y, b.y = b.y, a.y
+                _revert_swap(inc, a, b)
         temperature *= opts.cooling
 
     return AnnealResult(initial_hpwl=initial_hpwl, final_hpwl=netlist.hpwl(),

@@ -116,10 +116,12 @@ class PlacementArrays:
 
     def pin_net(self) -> np.ndarray:
         """(P,) net index of every pin (inverse of the CSR ranges)."""
-        out = np.empty(self.num_pins, dtype=np.int64)
-        for j in range(self.num_nets):
-            out[self.net_start[j]:self.net_start[j + 1]] = j
-        return out
+        cached = getattr(self, "_pin_net_cache", None)
+        if cached is None:
+            from ..kernels import expand_pin_net
+            cached = expand_pin_net(self.net_start)
+            self._pin_net_cache = cached
+        return cached
 
     # ------------------------------------------------------------------
     def initial_positions(self) -> tuple[np.ndarray, np.ndarray]:

@@ -7,19 +7,24 @@ where ``p`` is the net degree and ``|d|`` the current pin separation.  At
 the linearisation point the quadratic cost equals HPWL exactly, which is
 what makes successive-quadratic placement converge to low HPWL.
 
-:func:`build_system` assembles, per axis, the sparse positive-definite
-system ``A x = b`` over *movable cell centers* (fixed pins and pin offsets
-are folded into ``b``).
+:func:`B2BBuilder.build_axis` assembles, per axis, the sparse
+positive-definite system ``A x = b`` over *movable cell centers* (fixed
+pins and pin offsets are folded into ``b``) using the vectorized pair
+kernels of :mod:`repro.kernels.b2b`; ``build_axis_reference`` retains the
+original scalar assembly for the equivalence tests and benchmarks.
+Systems solve with Jacobi-preconditioned conjugate gradient and accept a
+warm start from the previous solve.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 import numpy as np
 import scipy.sparse as sp
 
 from ..errors import NumericalError
+from ..kernels import assemble_pairs, b2b_pairs, expand_pin_net
 from .arrays import PlacementArrays
 
 _EPS = 1e-6
@@ -29,17 +34,30 @@ _EPS = 1e-6
 class QuadraticSystem:
     """One axis of the B2B system restricted to movable cells.
 
-    ``A`` is CSR ``(m, m)``; ``b`` is ``(m,)``; ``index_map`` maps movable
-    cell index -> dense row; ``cells`` is the inverse list.
+    ``A`` is CSR ``(m, m)``; ``b`` is ``(m,)``; ``cells`` maps dense row
+    -> netlist cell index.  ``last_cg_iterations`` records the inner
+    iteration count of the most recent :meth:`solve` (0 when the direct
+    fallback ran immediately).
     """
 
     A: sp.csr_matrix
     b: np.ndarray
     cells: np.ndarray  # (m,) netlist cell indices in row order
+    last_cg_iterations: int = field(default=0, compare=False)
 
-    def solve(self, x0: np.ndarray | None = None, tol: float = 1e-8
-              ) -> np.ndarray:
-        """Solve with conjugate gradient (SPD system); returns (m,).
+    def solve(self, x0: np.ndarray | None = None, tol: float = 1e-8,
+              max_iterations: int = 200) -> np.ndarray:
+        """Solve with Jacobi-preconditioned CG (SPD system); returns (m,).
+
+        Args:
+            x0: warm start — typically the previous GP iteration's
+                solution for this axis; a good warm start cuts the CG
+                iteration count by an order of magnitude late in the
+                anchor ramp.
+            tol: relative residual tolerance.
+            max_iterations: CG budget before handing off to the direct
+                fallback (callers adapt it per axis — see
+                :meth:`repro.place.quadratic.QuadraticPlacer._solve_axis`).
 
         Raises:
             NumericalError: the system itself is poisoned (non-finite
@@ -52,7 +70,23 @@ class QuadraticSystem:
                 "non-finite right-hand side in quadratic system",
                 stage="solve", reason="nan")
         from scipy.sparse.linalg import cg
-        sol, info = cg(self.A, self.b, x0=x0, rtol=tol, maxiter=1000)
+        diag = self.A.diagonal()
+        precond = sp.diags(1.0 / np.maximum(diag, 1e-30))
+        iterations = 0
+
+        def count(_xk: np.ndarray) -> None:
+            nonlocal iterations
+            iterations += 1
+
+        # B2B systems near convergence are well scaled and a warm-started
+        # PCG finishes in a few dozen iterations; the degenerate early
+        # ones (coincident pins -> clamped 1/|d| weights spanning ~7
+        # decades) never converge at any budget, so a bounded attempt
+        # hands them to the direct solver instead of burning the budget
+        sol, info = cg(self.A, self.b, x0=x0, rtol=tol,
+                       maxiter=max(int(max_iterations), 1),
+                       M=precond, callback=count)
+        self.last_cg_iterations = iterations
         if info > 0 or not np.all(np.isfinite(sol)):
             # not converged (or diverged): fall back to a direct solve
             from scipy.sparse.linalg import spsolve
@@ -64,6 +98,17 @@ class QuadraticSystem:
         return sol
 
 
+def _as_pair_arrays(extra_pairs) -> tuple[np.ndarray, np.ndarray,
+                                          np.ndarray, np.ndarray]:
+    """Normalise ``(ci, cj, w, const)`` tuples into flat arrays."""
+    if extra_pairs is None or len(extra_pairs) == 0:
+        e = np.empty(0)
+        return e.astype(np.int64), e.astype(np.int64), e, e.copy()
+    mat = np.asarray(extra_pairs, dtype=float).reshape(-1, 4)
+    return (mat[:, 0].astype(np.int64), mat[:, 1].astype(np.int64),
+            mat[:, 2].copy(), mat[:, 3].copy())
+
+
 class B2BBuilder:
     """Reusable builder for per-axis B2B systems plus anchor terms."""
 
@@ -72,6 +117,7 @@ class B2BBuilder:
         self.movable_cells = np.nonzero(arrays.movable)[0]
         self._row_of = np.full(arrays.num_cells, -1, dtype=np.int64)
         self._row_of[self.movable_cells] = np.arange(len(self.movable_cells))
+        self._pin_net = expand_pin_net(arrays.net_start)
 
     @property
     def num_movable(self) -> int:
@@ -82,7 +128,7 @@ class B2BBuilder:
                    anchor_weight: float | np.ndarray = 0.0,
                    extra_pairs: list[tuple[int, int, float, float]] | None = None,
                    ) -> QuadraticSystem:
-        """Assemble one axis.
+        """Assemble one axis (vectorized).
 
         Args:
             coords: (N,) current cell centers on this axis.
@@ -94,11 +140,49 @@ class B2BBuilder:
             extra_pairs: optional explicit 2-pin connections
                 ``(cell_i, cell_j, weight, offset)`` adding the term
                 ``w * (x_i - x_j + offset)^2`` — used by the
-                structure-aware alignment model.
+                structure-aware alignment model.  Accepts tuple lists or
+                a pre-flattened (K, 4) array.
 
         Returns:
             The assembled system.
         """
+        arrays = self.arrays
+        m = self.num_movable
+        pin_pos = coords[arrays.pin_cell] + offsets
+
+        ca, cb, w, const = b2b_pairs(
+            pin_pos, arrays.net_start, arrays.net_weight, arrays.pin_cell,
+            offsets, self._pin_net, _EPS)
+        eca, ecb, ew, econst = _as_pair_arrays(extra_pairs)
+        if eca.size:
+            ca = np.concatenate([ca, eca])
+            cb = np.concatenate([cb, ecb])
+            w = np.concatenate([w, ew])
+            const = np.concatenate([const, econst])
+
+        diag, b, rows, cols, vals = assemble_pairs(
+            ca, cb, w, const, self._row_of, coords, m)
+
+        if anchors is not None:
+            aw = np.broadcast_to(np.asarray(anchor_weight, dtype=float),
+                                 (arrays.num_cells,))
+            aw_m = aw[self.movable_cells]
+            anchored = aw_m > 0.0
+            diag = diag + np.where(anchored, aw_m, 0.0)
+            b = b + np.where(anchored,
+                             aw_m * anchors[self.movable_cells], 0.0)
+
+        A = sp.coo_matrix((vals, (rows, cols)), shape=(m, m)).tocsr()
+        A = A + sp.diags(diag + 1e-9)  # tiny ridge keeps A SPD when isolated
+        return QuadraticSystem(A=A.tocsr(), b=b, cells=self.movable_cells)
+
+    # ------------------------------------------------------------------
+    def build_axis_reference(self, coords: np.ndarray, offsets: np.ndarray,
+                             anchors: np.ndarray | None = None,
+                             anchor_weight: float | np.ndarray = 0.0,
+                             extra_pairs=None) -> QuadraticSystem:
+        """The original scalar per-net assembly, retained as the ground
+        truth for the kernel-equivalence tests and the perf harness."""
         arrays = self.arrays
         m = self.num_movable
         pin_pos = coords[arrays.pin_cell] + offsets
@@ -110,14 +194,6 @@ class B2BBuilder:
         b = np.zeros(m)
 
         def add_pair(ci: int, cj: int, w: float, const: float) -> None:
-            """Add w*(p_i - p_j)^2 with p = x_cell + const_part.
-
-            ``const`` is (offset_i - offset_j): the fixed part of the
-            separation. Contributions:
-              movable-movable: A_ii += w, A_jj += w, A_ij -= w,
-                               b_i -= w*const, b_j += w*const
-              movable-fixed:   A_ii += w, b_i += w*(x_j + off_j - off_i)
-            """
             ri, rj = self._row_of[ci], self._row_of[cj]
             if ri >= 0 and rj >= 0:
                 diag[ri] += w
@@ -164,7 +240,7 @@ class B2BBuilder:
                 add_b2b(k, lo)
                 add_b2b(k, hi)
 
-        if extra_pairs:
+        if extra_pairs is not None:
             for ci, cj, w, const in extra_pairs:
                 add_pair(int(ci), int(cj), float(w), float(const))
 
@@ -184,5 +260,5 @@ class B2BBuilder:
         vals_arr = np.concatenate(vals) if vals else np.empty(0)
         A = sp.coo_matrix((vals_arr, (rows_arr, cols_arr)),
                           shape=(m, m)).tocsr()
-        A = A + sp.diags(diag + 1e-9)  # tiny ridge keeps A SPD when isolated
+        A = A + sp.diags(diag + 1e-9)
         return QuadraticSystem(A=A.tocsr(), b=b, cells=self.movable_cells)

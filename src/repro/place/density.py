@@ -9,12 +9,17 @@ Two services:
   placer.  Each cell spreads its area over nearby bins with a C1-continuous
   bump; the penalty is ``sum_b (phi_b - target_b)^2`` with an analytic
   gradient.
+
+Both paths run on the vectorized raster/bell kernels of
+:mod:`repro.kernels.density`; the original nested-loop implementations
+survive as references in :mod:`repro.kernels.reference`.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
+from ..kernels import bell_value_grad, rasterize_overlap
 from .arrays import PlacementArrays
 from .region import BinGrid
 
@@ -29,30 +34,15 @@ def density_map(arrays: PlacementArrays, x: np.ndarray, y: np.ndarray,
         grid: bin grid.
         include_fixed: also deposit fixed-cell area (terminals).
     """
-    nx, ny = grid.nx, grid.ny
-    bx, by = grid.bin_w, grid.bin_h
-    rx, ry = grid.region.x, grid.region.y
-    area = np.zeros((nx, ny))
     sel = np.ones(arrays.num_cells, dtype=bool) if include_fixed \
         else arrays.movable
-    xl = x[sel] - arrays.width[sel] / 2.0
-    xr = x[sel] + arrays.width[sel] / 2.0
-    yb = y[sel] - arrays.height[sel] / 2.0
-    yt = y[sel] + arrays.height[sel] / 2.0
-    # bin index ranges touched by each cell
-    il = np.clip(((xl - rx) / bx).astype(int), 0, nx - 1)
-    ir = np.clip(np.ceil((xr - rx) / bx).astype(int) - 1, 0, nx - 1)
-    jb = np.clip(((yb - ry) / by).astype(int), 0, ny - 1)
-    jt = np.clip(np.ceil((yt - ry) / by).astype(int) - 1, 0, ny - 1)
-    for k in range(xl.shape[0]):
-        for i in range(il[k], ir[k] + 1):
-            ox = min(xr[k], rx + (i + 1) * bx) - max(xl[k], rx + i * bx)
-            if ox <= 0:
-                continue
-            for j in range(jb[k], jt[k] + 1):
-                oy = min(yt[k], ry + (j + 1) * by) - max(yb[k], ry + j * by)
-                if oy > 0:
-                    area[i, j] += ox * oy
+    area = rasterize_overlap(
+        x[sel] - arrays.width[sel] / 2.0,
+        x[sel] + arrays.width[sel] / 2.0,
+        y[sel] - arrays.height[sel] / 2.0,
+        y[sel] + arrays.height[sel] / 2.0,
+        nx=grid.nx, ny=grid.ny, bin_w=grid.bin_w, bin_h=grid.bin_h,
+        origin_x=grid.region.x, origin_y=grid.region.y)
     return area / grid.bin_area
 
 
@@ -88,6 +78,7 @@ class BellDensity:
         self.grid = grid
         self.target_density = target_density
         self._cx, self._cy = grid.centers()
+        self._movable_idx = np.nonzero(arrays.movable)[0]
         # supply per bin: bin area minus fixed blockage, capped at target
         blockage = self._fixed_blockage()
         usable = np.maximum(grid.bin_area * target_density - blockage, 0.0)
@@ -101,109 +92,32 @@ class BellDensity:
         """Exact fixed-cell area per bin."""
         g = self.grid
         fixed = ~self.arrays.movable
-        area = np.zeros((g.nx, g.ny))
         if not fixed.any():
-            return area
+            return np.zeros((g.nx, g.ny))
         pos = self.arrays.netlist.positions()
         x, y = pos[:, 0], pos[:, 1]
-        idx = np.nonzero(fixed)[0]
-        for k in idx:
-            xl = x[k] - self.arrays.width[k] / 2.0
-            xr = x[k] + self.arrays.width[k] / 2.0
-            yb = y[k] - self.arrays.height[k] / 2.0
-            yt = y[k] + self.arrays.height[k] / 2.0
-            il = max(int((xl - g.region.x) / g.bin_w), 0)
-            ir = min(int(np.ceil((xr - g.region.x) / g.bin_w)) - 1, g.nx - 1)
-            jb = max(int((yb - g.region.y) / g.bin_h), 0)
-            jt = min(int(np.ceil((yt - g.region.y) / g.bin_h)) - 1, g.ny - 1)
-            for i in range(il, ir + 1):
-                ox = min(xr, g.region.x + (i + 1) * g.bin_w) \
-                    - max(xl, g.region.x + i * g.bin_w)
-                if ox <= 0:
-                    continue
-                for j in range(jb, jt + 1):
-                    oy = min(yt, g.region.y + (j + 1) * g.bin_h) \
-                        - max(yb, g.region.y + j * g.bin_h)
-                    if oy > 0:
-                        area[i, j] += ox * oy
-        return area
-
-    # ------------------------------------------------------------------
-    def _bell_1d(self, d: np.ndarray, half_span: np.ndarray,
-                 pitch: float) -> tuple[np.ndarray, np.ndarray]:
-        """Bell value and derivative vs center distance ``d`` (can be <0).
-
-        The bell for a cell of half-width ``w/2`` on bins of pitch ``b``:
-        flat-topped quadratic falling to zero at ``r = w/2 + 2b``.
-        """
-        r1 = half_span + pitch        # inner knee
-        r2 = half_span + 2.0 * pitch  # outer reach
-        ad = np.abs(d)
-        val = np.zeros_like(ad)
-        dval = np.zeros_like(ad)
-        inner = ad <= r1
-        a = 1.0 / np.maximum(r1 * (r1 + pitch), 1e-12)
-        val[inner] = (1.0 - a[inner] * ad[inner] ** 2)
-        dval[inner] = -2.0 * a[inner] * ad[inner]
-        outer = (~inner) & (ad < r2)
-        b = a * r1 / np.maximum(pitch, 1e-12)
-        val[outer] = (b[outer] * (ad[outer] - r2[outer]) ** 2)
-        dval[outer] = 2.0 * b[outer] * (ad[outer] - r2[outer])
-        return val, dval * np.sign(d)
+        return rasterize_overlap(
+            x[fixed] - self.arrays.width[fixed] / 2.0,
+            x[fixed] + self.arrays.width[fixed] / 2.0,
+            y[fixed] - self.arrays.height[fixed] / 2.0,
+            y[fixed] + self.arrays.height[fixed] / 2.0,
+            nx=g.nx, ny=g.ny, bin_w=g.bin_w, bin_h=g.bin_h,
+            origin_x=g.region.x, origin_y=g.region.y)
 
     def value_grad(self, x: np.ndarray, y: np.ndarray
                    ) -> tuple[float, np.ndarray, np.ndarray]:
         """Penalty value and gradients w.r.t. cell centers."""
-        g = self.grid
         arrays = self.arrays
-        movable = arrays.movable
-        idx = np.nonzero(movable)[0]
-        nx, ny = g.nx, g.ny
-        phi = np.zeros((nx, ny))
-
-        # per-cell precomputation of touched bin windows
-        reach_x = arrays.width / 2.0 + 2.0 * g.bin_w
-        reach_y = arrays.height / 2.0 + 2.0 * g.bin_h
-
-        windows: list[tuple[int, slice, slice, np.ndarray, np.ndarray,
-                            np.ndarray, np.ndarray, float]] = []
-        for k in idx:
-            i0 = max(int((x[k] - reach_x[k] - g.region.x) / g.bin_w), 0)
-            i1 = min(int((x[k] + reach_x[k] - g.region.x) / g.bin_w) + 1, nx)
-            j0 = max(int((y[k] - reach_y[k] - g.region.y) / g.bin_h), 0)
-            j1 = min(int((y[k] + reach_y[k] - g.region.y) / g.bin_h) + 1, ny)
-            if i0 >= i1 or j0 >= j1:
-                continue
-            dx = x[k] - self._cx[i0:i1]
-            dy = y[k] - self._cy[j0:j1]
-            half_w = np.full_like(dx, arrays.width[k] / 2.0)
-            half_h = np.full_like(dy, arrays.height[k] / 2.0)
-            px, dpx = self._bell_1d(dx, half_w, g.bin_w)
-            py, dpy = self._bell_1d(dy, half_h, g.bin_h)
-            norm = px.sum() * py.sum()
-            if norm <= 1e-12:
-                continue
-            scale = arrays.area[k] / norm
-            phi[i0:i1, j0:j1] += scale * np.outer(px, py)
-            windows.append((k, slice(i0, i1), slice(j0, j1),
-                            px, py, dpx, dpy, scale))
-
-        diff = phi - self.target
-        value = float((diff ** 2).sum())
+        g = self.grid
+        idx = self._movable_idx
+        value, gxm, gym = bell_value_grad(
+            x[idx], y[idx],
+            arrays.width[idx] / 2.0, arrays.height[idx] / 2.0,
+            arrays.area[idx],
+            cx=self._cx, cy=self._cy, bin_w=g.bin_w, bin_h=g.bin_h,
+            origin_x=g.region.x, origin_y=g.region.y, target=self.target)
         gx = np.zeros(arrays.num_cells)
         gy = np.zeros(arrays.num_cells)
-        for k, si, sj, px, py, dpx, dpy, scale in windows:
-            local = diff[si, sj]
-            # exact derivative including the per-cell normaliser
-            # phi_kij = area * px_i py_j / (Sx Sy); d/dx brings a
-            # -(dSx/Sx) correction against the plain term
-            base = float(px @ local @ py)
-            sx = float(px.sum())
-            sy = float(py.sum())
-            gx[k] = 2.0 * scale * (float(dpx @ local @ py)
-                                   - float(dpx.sum()) / max(sx, 1e-12)
-                                   * base)
-            gy[k] = 2.0 * scale * (float(px @ local @ dpy)
-                                   - float(dpy.sum()) / max(sy, 1e-12)
-                                   * base)
+        gx[idx] = gxm
+        gy[idx] = gym
         return value, gx, gy

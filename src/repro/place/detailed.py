@@ -20,12 +20,17 @@ from __future__ import annotations
 import itertools
 from dataclasses import dataclass
 
+from ..kernels import IncrementalHPWL
 from ..netlist import Cell, Netlist
 from .region import PlacementRegion
 
 
 def _cells_hpwl(netlist: Netlist, cells: list[Cell]) -> float:
-    """Total weighted HPWL of all nets incident to ``cells``."""
+    """Total weighted HPWL of all nets incident to ``cells``.
+
+    Object-model walk kept for one-off queries; the refinement passes use
+    :class:`~repro.kernels.IncrementalHPWL` for their inner loops.
+    """
     seen: set[int] = set()
     total = 0.0
     for cell in cells:
@@ -60,17 +65,23 @@ class DetailedStats:
 
 
 def global_swap_pass(netlist: Netlist, *, frozen: set[str] | None = None,
-                     neighborhood: float | None = None) -> int:
+                     neighborhood: float | None = None,
+                     inc: IncrementalHPWL | None = None) -> int:
     """One pass of improving same-footprint cell swaps.
 
     Candidate partners are drawn from cells connected through shared nets
     (cheap and effective: they are the cells whose positions matter to the
     same nets).
 
+    Args:
+        inc: shared incremental-HPWL oracle; built locally when absent.
+            Must be in sync with the netlist's current positions.
+
     Returns:
         Number of accepted swaps.
     """
     frozen = frozen or set()
+    inc = inc or IncrementalHPWL(netlist)
     accepted = 0
     for cell in netlist.movable_cells():
         if cell.name in frozen:
@@ -84,27 +95,32 @@ def global_swap_pass(netlist: Netlist, *, frozen: set[str] | None = None,
                 candidates.append(nb)
         if not candidates:
             continue
-        affected_base = [cell] + candidates
         for other in candidates:
-            before = _cells_hpwl(netlist, [cell, other])
             _swap(cell, other)
-            after = _cells_hpwl(netlist, [cell, other])
+            before, after = inc.propose([cell.index, other.index],
+                                        [cell.x, other.x],
+                                        [cell.y, other.y])
             if after + 1e-9 < before:
+                inc.commit()
                 accepted += 1
             else:
                 _swap(cell, other)  # revert
-        del affected_base
+                inc.rollback()
     return accepted
 
 
 def row_reorder_pass(netlist: Netlist, region: PlacementRegion, *,
                      window: int = 3,
-                     frozen: set[str] | None = None) -> int:
+                     frozen: set[str] | None = None,
+                     inc: IncrementalHPWL | None = None) -> int:
     """Exhaustive window reordering within each row.
 
     Cells in each row are sorted by x; for every window of ``window``
     consecutive movable cells, all permutations are evaluated with cells
     re-packed from the window's left edge; the best is kept.
+
+    Args:
+        inc: shared incremental-HPWL oracle; built locally when absent.
 
     Returns:
         Number of accepted reorders.
@@ -112,6 +128,7 @@ def row_reorder_pass(netlist: Netlist, region: PlacementRegion, *,
     if window < 2 or window > 5:
         raise ValueError("window must be in [2, 5]")
     frozen = frozen or set()
+    inc = inc or IncrementalHPWL(netlist)
     rows: dict[int, list[Cell]] = {}
     for cell in netlist.movable_cells():
         j = int(round((cell.y - region.y) / region.row_height))
@@ -129,14 +146,17 @@ def row_reorder_pass(netlist: Netlist, region: PlacementRegion, *,
             if sum(c.width for c in win) > right - left + 1e-9:
                 continue
             orig = [(c.x, c.y) for c in win]
+            idx = [c.index for c in win]
+            ys = [c.y for c in win]
             best_perm: tuple[int, ...] | None = None
-            best_cost = _cells_hpwl(netlist, win)
+            best_cost = inc.incident_cost(idx)
             for perm in itertools.permutations(range(window)):
                 run = left
                 for pi in perm:
                     win[pi].x = run
                     run += win[pi].width
-                cost = _cells_hpwl(netlist, win)
+                _b, cost = inc.propose(idx, [c.x for c in win], ys)
+                inc.rollback()
                 if cost + 1e-9 < best_cost:
                     best_cost = cost
                     best_perm = perm
@@ -148,6 +168,7 @@ def row_reorder_pass(netlist: Netlist, region: PlacementRegion, *,
                 for pi in best_perm:
                     win[pi].x = run
                     run += win[pi].width
+                inc.update_cells(idx, [c.x for c in win], ys)
                 accepted += 1
                 row_cells.sort(key=lambda c: c.x)
     return accepted
@@ -171,12 +192,16 @@ def detailed_place(netlist: Netlist, region: PlacementRegion, *,
     """
     stats = DetailedStats(initial_hpwl=netlist.hpwl(),
                           final_hpwl=netlist.hpwl())
+    # one shared oracle: both passes mutate positions exclusively through
+    # it, so per-pass rebuild costs vanish
+    inc = IncrementalHPWL(netlist)
     for _round in range(max_passes):
         before = stats.final_hpwl
-        stats.swaps_accepted += global_swap_pass(netlist, frozen=frozen)
+        stats.swaps_accepted += global_swap_pass(netlist, frozen=frozen,
+                                                 inc=inc)
         stats.reorders_accepted += row_reorder_pass(netlist, region,
                                                     window=window,
-                                                    frozen=frozen)
+                                                    frozen=frozen, inc=inc)
         stats.passes += 1
         stats.final_hpwl = netlist.hpwl()
         if before <= 0 or (before - stats.final_hpwl) / before < min_gain:

@@ -13,7 +13,7 @@ both engines expose identical structure hooks.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 
 import numpy as np
 
@@ -88,18 +88,34 @@ class NonlinearPlacer:
         self._wl_grad = WL_MODELS[self.options.wirelength_model]
         self.extra_pairs_x = extra_pairs_x or []
         self.extra_pairs_y = extra_pairs_y or []
+        self._pairs_x = self._flatten_pairs(self.extra_pairs_x)
+        self._pairs_y = self._flatten_pairs(self.extra_pairs_y)
 
     # ------------------------------------------------------------------
-    def _pairs_value_grad(self, coords: np.ndarray,
-                          pairs: list[tuple[int, int, float, float]]
+    @staticmethod
+    def _flatten_pairs(pairs) -> tuple[np.ndarray, np.ndarray,
+                                       np.ndarray, np.ndarray]:
+        if not pairs:
+            e = np.empty(0)
+            return e.astype(np.int64), e.astype(np.int64), e, e.copy()
+        mat = np.asarray(pairs, dtype=float).reshape(-1, 4)
+        return (mat[:, 0].astype(np.int64), mat[:, 1].astype(np.int64),
+                mat[:, 2].copy(), mat[:, 3].copy())
+
+    @staticmethod
+    def _pairs_value_grad(coords: np.ndarray,
+                          pairs: tuple[np.ndarray, np.ndarray,
+                                       np.ndarray, np.ndarray]
                           ) -> tuple[float, np.ndarray]:
-        value = 0.0
-        grad = np.zeros_like(coords)
-        for ci, cj, w, off in pairs:
-            d = coords[ci] - coords[cj] + off
-            value += w * d * d
-            grad[ci] += 2.0 * w * d
-            grad[cj] -= 2.0 * w * d
+        ci, cj, w, off = pairs
+        if not ci.size:
+            return 0.0, np.zeros_like(coords)
+        d = coords[ci] - coords[cj] + off
+        value = float(np.dot(w, d * d))
+        wd = 2.0 * w * d
+        n = coords.shape[0]
+        grad = np.bincount(ci, weights=wd, minlength=n) \
+            - np.bincount(cj, weights=wd, minlength=n)
         return value, grad
 
     def _objective(self, lam: float, gamma: float):
@@ -112,8 +128,8 @@ class NonlinearPlacer:
             y = theta[n:]
             wl, gx, gy = self._wl_grad(arrays, x, y, gamma)
             dv, dgx, dgy = self.density.value_grad(x, y)
-            px, pgx = self._pairs_value_grad(x, self.extra_pairs_x)
-            py, pgy = self._pairs_value_grad(y, self.extra_pairs_y)
+            px, pgx = self._pairs_value_grad(x, self._pairs_x)
+            py, pgy = self._pairs_value_grad(y, self._pairs_y)
             value = wl + lam * dv + px + py
             grad = np.concatenate([gx + lam * dgx + pgx,
                                    gy + lam * dgy + pgy])
@@ -161,10 +177,16 @@ class NonlinearPlacer:
         rounds = 0
         ovf = overflow(arrays, x, y, self.grid)
         n = arrays.num_cells
+        cg_opts = opts.cg
         for rounds in range(1, opts.max_rounds + 1):
             theta0 = np.concatenate([x, y])
             result = conjugate_gradient(self._objective(lam, gamma), theta0,
-                                        opts.cg)
+                                        cg_opts)
+            # warm-start the next round's line search from this round's
+            # final Barzilai–Borwein step (the landscape changes only by
+            # the lambda ramp, so the curvature estimate carries over)
+            if np.isfinite(result.final_step) and result.final_step > 0:
+                cg_opts = replace(opts.cg, initial_step=result.final_step)
             x = result.x[:n].copy()
             y = result.x[n:].copy()
             if fault_fires("solver_nan"):

@@ -33,6 +33,10 @@ class CGResult:
     iterations: int
     converged: bool
     history: list[float]
+    # last Barzilai–Borwein step estimate — callers running successive
+    # related minimisations (penalty continuation) reuse it as the next
+    # round's ``initial_step`` instead of restarting the line search cold
+    final_step: float = 1.0
 
 
 def conjugate_gradient(objective: Objective, x0: np.ndarray,
@@ -101,4 +105,4 @@ def conjugate_gradient(objective: Objective, x0: np.ndarray,
         history.append(value)
 
     return CGResult(x=x, value=value, iterations=len(history) - 1,
-                    converged=converged, history=history)
+                    converged=converged, history=history, final_step=step)

@@ -33,6 +33,14 @@ from .region import BinGrid, PlacementRegion, default_grid
 from .spreading import spread_positions
 from .wirelength import hpwl
 
+# CG iteration budget per solve.  Early B2B systems (coincident pins ->
+# clamped 1/|d| weights spanning ~7 decades) never converge at rtol=1e-8
+# and always end in the direct fallback; when an axis keeps hitting the
+# cap its budget halves down to the floor so the burned-before-fallback
+# CG time shrinks, and restores fully the moment a solve converges.
+_CG_BUDGET = 200
+_CG_BUDGET_MIN = 25
+
 
 @dataclass
 class GlobalPlaceOptions:
@@ -128,18 +136,40 @@ class QuadraticPlacer:
         # runtime's crash/timeout resume path
         self.checkpoint = checkpoint
         self._builder = B2BBuilder(arrays)
+        # previous solve's solution per axis — warm start for the next
+        # anchored solve (the GP lower bound moves little late in the ramp)
+        self._warm: dict[str, np.ndarray | None] = {"x": None, "y": None}
+        # per-axis CG budget: halves when CG keeps hitting the cap (the
+        # system is too ill-conditioned for PCG, direct fallback decides
+        # anyway), restores when a solve converges within budget
+        self._cg_budget: dict[str, int] = {"x": _CG_BUDGET, "y": _CG_BUDGET}
 
     # ------------------------------------------------------------------
     def _solve_axis(self, coords: np.ndarray, offsets: np.ndarray,
                     anchors: np.ndarray | None, anchor_w: float | np.ndarray,
-                    extra: list[tuple[int, int, float, float]]) -> np.ndarray:
+                    extra: list[tuple[int, int, float, float]],
+                    axis: str) -> np.ndarray:
         system = self._builder.build_axis(coords, offsets, anchors=anchors,
                                           anchor_weight=anchor_w,
                                           extra_pairs=extra)
+        warm = self._warm.get(axis)
+        if warm is not None and warm.shape == system.cells.shape:
+            x0 = warm
+            self.tracer.incr("gp.warm_starts")
+        else:
+            x0 = coords[system.cells]
         solve = GuardedSolve(system.solve, stage="global_place",
                              design=self.arrays.netlist.name,
                              guard=self.guard)
-        sol = solve(x0=coords[system.cells])
+        budget = self._cg_budget[axis]
+        sol = solve(x0=x0, max_iterations=budget)
+        if system.last_cg_iterations >= budget:
+            self._cg_budget[axis] = max(budget // 2, _CG_BUDGET_MIN)
+        else:
+            self._cg_budget[axis] = _CG_BUDGET
+        self._warm[axis] = np.asarray(sol, dtype=float).copy()
+        self.tracer.incr("gp.solves")
+        self.tracer.incr("gp.cg_iterations", system.last_cg_iterations)
         out = coords.copy()
         out[system.cells] = sol
         return out
@@ -189,9 +219,9 @@ class QuadraticPlacer:
                 x[mv] = cx
                 y[mv] = cy
                 x = self._solve_axis(x, arrays.pin_dx, None, 0.0,
-                                     self.extra_pairs_x)
+                                     self.extra_pairs_x, axis="x")
                 y = self._solve_axis(y, arrays.pin_dy, None, 0.0,
-                                     self.extra_pairs_y)
+                                     self.extra_pairs_y, axis="y")
                 self._clamp(x, y)
                 if self.post_solve is not None:
                     self.post_solve(x, y)
@@ -228,10 +258,10 @@ class QuadraticPlacer:
                 w = opts.anchor_alpha * it
                 x = self._solve_axis(x if opts.b2b_refresh else anchors_x,
                                      arrays.pin_dx, anchors_x, w,
-                                     self.extra_pairs_x)
+                                     self.extra_pairs_x, axis="x")
                 y = self._solve_axis(y if opts.b2b_refresh else anchors_y,
                                      arrays.pin_dy, anchors_y, w,
-                                     self.extra_pairs_y)
+                                     self.extra_pairs_y, axis="y")
                 self._clamp(x, y)
                 if self.post_solve is not None:
                     self.post_solve(x, y)

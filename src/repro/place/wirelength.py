@@ -21,43 +21,25 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..kernels import hpwl_kernel, hpwl_per_net_kernel, segment_reduce
 from .arrays import PlacementArrays
 
 
 def hpwl(arrays: PlacementArrays, x: np.ndarray, y: np.ndarray) -> float:
     """Exact weighted half-perimeter wirelength."""
     px, py = arrays.pin_positions(x, y)
-    total = 0.0
-    starts = arrays.net_start
-    weights = arrays.net_weight
-    for j in range(arrays.num_nets):
-        s, e = starts[j], starts[j + 1]
-        total += weights[j] * ((px[s:e].max() - px[s:e].min())
-                               + (py[s:e].max() - py[s:e].min()))
-    return float(total)
+    return hpwl_kernel(px, py, arrays.net_start, arrays.net_weight)
 
 
 def hpwl_per_net(arrays: PlacementArrays, x: np.ndarray,
                  y: np.ndarray) -> np.ndarray:
     """(M,) unweighted HPWL of each net."""
     px, py = arrays.pin_positions(x, y)
-    starts = arrays.net_start
-    out = np.empty(arrays.num_nets, dtype=float)
-    for j in range(arrays.num_nets):
-        s, e = starts[j], starts[j + 1]
-        out[j] = (px[s:e].max() - px[s:e].min()) + \
-            (py[s:e].max() - py[s:e].min())
-    return out
+    return hpwl_per_net_kernel(px, py, arrays.net_start)
 
 
-def _segment_reduce(values: np.ndarray, starts: np.ndarray,
-                    op: str) -> np.ndarray:
-    """Per-net max or sum of a per-pin array using ufunc.reduceat."""
-    if op == "max":
-        return np.maximum.reduceat(values, starts[:-1])
-    if op == "sum":
-        return np.add.reduceat(values, starts[:-1])
-    raise ValueError(f"unknown op {op!r}")
+# every per-net reduction routes through the shared kernel layer
+_segment_reduce = segment_reduce
 
 
 class _AxisModel:

@@ -39,6 +39,7 @@ _EXPORTS = {
     "run_suite": ".runner",
     "PhaseHandle": ".telemetry",
     "Tracer": ".telemetry",
+    "render_profile": ".telemetry",
     "JsonlTraceWriter": ".trace",
     "read_trace": ".trace",
     "write_trace": ".trace",
@@ -74,6 +75,7 @@ __all__ = [
     "make_jobs",
     "netlist_fingerprint",
     "read_trace",
+    "render_profile",
     "run_suite",
     "snapshot_positions",
     "write_trace",

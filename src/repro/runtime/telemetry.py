@@ -145,3 +145,53 @@ class Tracer:
     def total_s(self, name: str) -> float:
         """Summed duration of every closed phase with this name."""
         return sum(e["elapsed_s"] for e in self.phases(name))
+
+
+def render_profile(tracer: Tracer, *, counter_prefixes:
+                   tuple[str, ...] | None = None) -> str:
+    """Format a tracer as a span tree plus a counters section.
+
+    One line per distinct phase *path*, indented by nesting depth, with
+    summed wall time and invocation count (phases that ran several times
+    aggregate onto one line).  Counters follow, optionally filtered to
+    the given name prefixes.  This backs ``repro-place place --profile``.
+    """
+    totals: dict[str, list[float]] = {}
+    order: list[str] = []
+    for event in tracer.phases():
+        path = event["path"]
+        if path not in totals:
+            totals[path] = [0.0, 0]
+            order.append(path)
+        totals[path][0] += event["elapsed_s"]
+        totals[path][1] += 1
+
+    # nest children under parents, keeping first-closure order per level
+    children: dict[str, list[str]] = {"": []}
+    for path in order:
+        parent = path.rsplit(PATH_SEP, 1)[0] if PATH_SEP in path else ""
+        children.setdefault(parent, []).append(path)
+        children.setdefault(path, [])
+
+    lines = ["profile (wall time by phase)"]
+
+    def emit(path: str, depth: int) -> None:
+        total_s, count = totals[path]
+        name = path.rsplit(PATH_SEP, 1)[-1]
+        label = "  " * depth + name
+        suffix = f" x{count}" if count > 1 else ""
+        lines.append(f"  {label:<34} {total_s:>9.3f}s{suffix}")
+        for child in children.get(path, []):
+            emit(child, depth + 1)
+
+    for top in children[""]:
+        emit(top, 0)
+
+    names = [n for n in sorted(tracer.counters)
+             if counter_prefixes is None
+             or any(n.startswith(p) for p in counter_prefixes)]
+    if names:
+        lines.append("counters")
+        for name in names:
+            lines.append(f"  {name:<36} {tracer.counters[name]}")
+    return "\n".join(lines)

@@ -1,0 +1,287 @@
+"""Property-based equivalence tests: vectorized kernels vs references.
+
+Every kernel in :mod:`repro.kernels` must agree with its retained scalar
+reference (:mod:`repro.kernels.reference`) to 1e-9 relative tolerance —
+this suite is the CI gate the perf harness relies on: a kernel change
+that drifts from the reference fails here before any benchmark runs.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.eval.steiner import rmst_length, steiner_length, total_steiner
+from repro.gen import build_design
+from repro.kernels import (IncrementalHPWL, bell_value_grad, hpwl_kernel,
+                           hpwl_per_net_kernel, rasterize_overlap)
+from repro.kernels.reference import (bell_value_grad_reference,
+                                     hpwl_per_net_reference, hpwl_reference,
+                                     incident_cost_reference,
+                                     rasterize_overlap_reference,
+                                     rmst_length_reference)
+from repro.place import PlacementArrays
+from repro.place.b2b import B2BBuilder
+
+RTOL = 1e-9
+
+_coord = st.floats(-500.0, 500.0, allow_nan=False, allow_infinity=False)
+_weight = st.floats(0.0, 8.0, allow_nan=False)
+
+
+@st.composite
+def _csr_nets(draw):
+    """Random CSR pin layout: degrees in [2, 6], positions, weights."""
+    degrees = draw(st.lists(st.integers(2, 6), min_size=1, max_size=8))
+    starts = np.concatenate(([0], np.cumsum(degrees))).astype(np.int64)
+    n_pins = int(starts[-1])
+    px = np.array(draw(st.lists(_coord, min_size=n_pins, max_size=n_pins)))
+    py = np.array(draw(st.lists(_coord, min_size=n_pins, max_size=n_pins)))
+    weights = np.array(draw(st.lists(_weight, min_size=len(degrees),
+                                     max_size=len(degrees))))
+    return px, py, starts, weights
+
+
+class TestSegmentKernels:
+    @settings(max_examples=50, deadline=None)
+    @given(_csr_nets())
+    def test_hpwl_matches_reference(self, nets):
+        px, py, starts, weights = nets
+        got = hpwl_kernel(px, py, starts, weights)
+        want = hpwl_reference(px, py, starts, weights)
+        assert got == pytest.approx(want, rel=RTOL, abs=1e-12)
+
+    @settings(max_examples=50, deadline=None)
+    @given(_csr_nets())
+    def test_per_net_matches_reference(self, nets):
+        px, py, starts, _weights = nets
+        got = hpwl_per_net_kernel(px, py, starts)
+        want = hpwl_per_net_reference(px, py, starts)
+        np.testing.assert_allclose(got, want, rtol=RTOL, atol=1e-12)
+
+    def test_empty_csr(self):
+        starts = np.zeros(1, dtype=np.int64)
+        e = np.empty(0)
+        assert hpwl_kernel(e, e, starts, e) == 0.0
+        assert hpwl_per_net_kernel(e, e, starts).shape == (0,)
+
+
+@st.composite
+def _rects(draw):
+    """Random rectangles inside (and slightly beyond) a [0, 10]^2 grid."""
+    n = draw(st.integers(1, 12))
+    xl = np.array(draw(st.lists(st.floats(-1.0, 9.5), min_size=n,
+                                max_size=n)))
+    yb = np.array(draw(st.lists(st.floats(-1.0, 9.5), min_size=n,
+                                max_size=n)))
+    w = np.array(draw(st.lists(st.floats(0.1, 4.0), min_size=n,
+                               max_size=n)))
+    h = np.array(draw(st.lists(st.floats(0.1, 4.0), min_size=n,
+                               max_size=n)))
+    return xl, xl + w, yb, yb + h
+
+
+class TestDensityKernels:
+    GRID = dict(nx=5, ny=4, bin_w=2.0, bin_h=2.5, origin_x=0.0,
+                origin_y=0.0)
+
+    @settings(max_examples=50, deadline=None)
+    @given(_rects())
+    def test_rasterize_matches_reference(self, rects):
+        xl, xr, yb, yt = rects
+        got = rasterize_overlap(xl, xr, yb, yt, **self.GRID)
+        want = rasterize_overlap_reference(xl, xr, yb, yt, **self.GRID)
+        np.testing.assert_allclose(got, want, rtol=RTOL, atol=1e-12)
+
+    def test_rasterize_total_area_conserved(self):
+        # fully-interior rectangles deposit exactly their area
+        xl = np.array([1.0, 4.2, 7.7])
+        yb = np.array([2.0, 0.5, 6.1])
+        xr, yt = xl + 1.5, yb + 2.0
+        area = rasterize_overlap(xl, xr, yb, yt, nx=10, ny=10, bin_w=1.0,
+                                 bin_h=1.0, origin_x=0.0, origin_y=0.0)
+        assert area.sum() == pytest.approx(3 * 1.5 * 2.0, rel=RTOL)
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.integers(1, 10), st.integers(0, 2 ** 32 - 1))
+    def test_bell_matches_reference(self, n, seed):
+        rng = np.random.default_rng(seed)
+        x = rng.uniform(0.0, 8.0, n)
+        y = rng.uniform(0.0, 6.0, n)
+        half_w = rng.uniform(0.2, 1.5, n)
+        half_h = rng.uniform(0.2, 1.0, n)
+        cell_area = 4.0 * half_w * half_h
+        grid = dict(cx=np.arange(8) + 0.5, cy=np.arange(6) + 0.5,
+                    bin_w=1.0, bin_h=1.0, origin_x=0.0, origin_y=0.0,
+                    target=rng.uniform(0.0, 1.0, (8, 6)))
+        got = bell_value_grad(x, y, half_w, half_h, cell_area, **grid)
+        want = bell_value_grad_reference(x, y, half_w, half_h, cell_area,
+                                         **grid)
+        assert got[0] == pytest.approx(want[0], rel=RTOL, abs=1e-12)
+        np.testing.assert_allclose(got[1], want[1], rtol=1e-8, atol=1e-10)
+        np.testing.assert_allclose(got[2], want[2], rtol=1e-8, atol=1e-10)
+
+
+def _design_arrays():
+    design = build_design("dp_add8")
+    return design, PlacementArrays.build(design.netlist)
+
+
+class TestB2BAssembly:
+    @settings(max_examples=15, deadline=None)
+    @given(st.integers(0, 2 ** 32 - 1), st.booleans(), st.booleans())
+    def test_build_axis_matches_reference(self, seed, with_anchors,
+                                          with_extra):
+        design, arrays = _design_arrays()
+        rng = np.random.default_rng(seed)
+        coords = rng.uniform(0.0, 100.0, arrays.num_cells)
+        anchors = rng.uniform(0.0, 100.0, arrays.num_cells) \
+            if with_anchors else None
+        weight = 0.05 if with_anchors else 0.0
+        extra = [(0, 1, 0.5, 2.0), (2, 3, 1.25, -1.0)] if with_extra \
+            else None
+        builder = B2BBuilder(arrays)
+        fast = builder.build_axis(coords, arrays.pin_dx, anchors=anchors,
+                                  anchor_weight=weight, extra_pairs=extra)
+        slow = builder.build_axis_reference(
+            coords, arrays.pin_dx, anchors=anchors, anchor_weight=weight,
+            extra_pairs=extra)
+        np.testing.assert_allclose(fast.A.toarray(), slow.A.toarray(),
+                                   rtol=RTOL, atol=1e-12)
+        np.testing.assert_allclose(fast.b, slow.b, rtol=RTOL, atol=1e-12)
+        np.testing.assert_array_equal(fast.cells, slow.cells)
+
+    def test_solve_residual_and_warm_start(self):
+        design, arrays = _design_arrays()
+        builder = B2BBuilder(arrays)
+        x0, _y0 = arrays.initial_positions()
+        system = builder.build_axis(x0, arrays.pin_dx, anchors=x0,
+                                    anchor_weight=0.1)
+        sol = system.solve(max_iterations=2000)
+        residual = np.linalg.norm(system.A @ sol - system.b)
+        assert residual <= 1e-5 * max(1.0, np.linalg.norm(system.b))
+        # a warm start from the exact solution converges in ~no iterations
+        system2 = builder.build_axis(x0, arrays.pin_dx, anchors=x0,
+                                     anchor_weight=0.1)
+        sol2 = system2.solve(x0=sol, max_iterations=2000)
+        assert system2.last_cg_iterations <= max(
+            system.last_cg_iterations, 1)
+        np.testing.assert_allclose(sol2, sol, rtol=1e-6, atol=1e-8)
+
+
+def _tracked_total(netlist) -> float:
+    """Object-model total over the nets IncrementalHPWL tracks."""
+    return sum(net.weight * net.hpwl() for net in netlist.nets
+               if net.degree >= 2 and net.weight != 0.0)
+
+
+_move = st.tuples(st.integers(0, 10 ** 9),       # cell picker
+                  st.floats(-20.0, 20.0),        # dx
+                  st.floats(-20.0, 20.0),        # dy
+                  st.sampled_from(["commit", "rollback", "update"]))
+
+
+class TestIncrementalHPWL:
+    @settings(max_examples=20, deadline=None)
+    @given(st.lists(_move, min_size=1, max_size=12))
+    def test_move_sequence_matches_scratch(self, moves):
+        design, _arrays = _design_arrays()
+        nl = design.netlist
+        inc = IncrementalHPWL(nl)
+        cells = nl.movable_cells()
+        for pick, dx, dy, action in moves:
+            cell = cells[pick % len(cells)]
+            nx, ny = cell.x + dx, cell.y + dy
+            if action == "update":
+                cell.x, cell.y = nx, ny
+                inc.update_cells([cell.index], [nx], [ny])
+            else:
+                inc.propose([cell.index], [nx], [ny])
+                if action == "commit":
+                    cell.x, cell.y = nx, ny
+                    inc.commit()
+                else:
+                    inc.rollback()
+        assert inc.total == pytest.approx(inc.check_total(), rel=RTOL)
+        assert inc.total == pytest.approx(_tracked_total(nl), rel=RTOL)
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.lists(st.tuples(st.integers(0, 10 ** 9),
+                              st.integers(0, 10 ** 9), st.booleans()),
+                    min_size=1, max_size=15))
+    def test_swap_sequence_matches_scratch(self, swaps):
+        design, _arrays = _design_arrays()
+        nl = design.netlist
+        inc = IncrementalHPWL(nl)
+        cells = nl.movable_cells()
+        for pa, pb, accept in swaps:
+            a = cells[pa % len(cells)]
+            b = cells[pb % len(cells)]
+            if a is b:
+                continue
+            a.x, b.x = b.x, a.x
+            a.y, b.y = b.y, a.y
+            inc.propose([a.index, b.index], [a.x, b.x], [a.y, b.y])
+            if accept:
+                inc.commit()
+            else:
+                a.x, b.x = b.x, a.x
+                a.y, b.y = b.y, a.y
+                inc.rollback()
+        fresh = IncrementalHPWL(nl)
+        assert inc.total == pytest.approx(fresh.total, rel=RTOL)
+        assert inc.total == pytest.approx(inc.check_total(), rel=RTOL)
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.lists(st.integers(0, 10 ** 9), min_size=1, max_size=4))
+    def test_incident_cost_matches_reference(self, picks):
+        design, _arrays = _design_arrays()
+        nl = design.netlist
+        inc = IncrementalHPWL(nl)
+        cells = [nl.movable_cells()[p % len(nl.movable_cells())]
+                 for p in picks]
+        got = inc.incident_cost([c.index for c in cells])
+        want = incident_cost_reference(nl, cells)
+        assert got == pytest.approx(want, rel=RTOL, abs=1e-12)
+
+    def test_resync_after_external_moves(self):
+        design, _arrays = _design_arrays()
+        nl = design.netlist
+        inc = IncrementalHPWL(nl)
+        for cell in nl.movable_cells()[:5]:
+            cell.x += 3.0
+        inc.resync()
+        assert inc.total == pytest.approx(_tracked_total(nl), rel=RTOL)
+
+
+_points = st.lists(st.tuples(_coord, _coord), min_size=2, max_size=20)
+
+
+class TestSteinerKernels:
+    @settings(max_examples=50, deadline=None)
+    @given(_points)
+    def test_rmst_matches_reference(self, pts):
+        xs = np.array([p[0] for p in pts])
+        ys = np.array([p[1] for p in pts])
+        got = rmst_length(xs, ys)
+        want = rmst_length_reference(xs, ys)
+        assert got == pytest.approx(want, rel=RTOL, abs=1e-12)
+
+    @settings(max_examples=10, deadline=None)
+    @given(st.booleans(), st.booleans())
+    def test_total_steiner_matches_per_net_walk(self, use_weights,
+                                                skip_zero):
+        design, _arrays = _design_arrays()
+        nl = design.netlist
+        got = total_steiner(nl, use_weights=use_weights,
+                            skip_zero_weight=skip_zero)
+        want = 0.0
+        for net in nl.nets:
+            if net.degree < 2:
+                continue
+            if skip_zero and net.weight == 0.0:
+                continue
+            xs = np.array([ref.position()[0] for ref in net.pins])
+            ys = np.array([ref.position()[1] for ref in net.pins])
+            w = net.weight if use_weights else 1.0
+            want += w * steiner_length(xs, ys)
+        assert got == pytest.approx(want, rel=RTOL, abs=1e-12)
