@@ -1,0 +1,214 @@
+"""F4 flat-vs-multilevel sweep with hard perf and quality gates.
+
+Runs :class:`repro.core.StructureAwarePlacer` end to end — extraction,
+global place, legalization, detailed — on the F4 scalability designs,
+once with the flat quadratic engine and once through the multilevel
+V-cycle, and gates CI on the result:
+
+- **Quality** (every size, both modes): multilevel final HPWL must stay
+  within ``HPWL_TOL`` (2%) of the flat result, and both placements must
+  be legal.
+- **Speed** (full run only): the largest sweep point at or above 3200
+  cells must show at least ``SPEEDUP_MIN`` (3x) end-to-end speedup.
+  Small designs are dominated by the shared non-GP stages, so the gate
+  applies where the V-cycle is meant to pay off.
+- **Determinism**: two independent multilevel runs of the same design
+  must produce bit-identical positions, and a cached artifact must
+  round-trip those positions exactly (the ``--multilevel`` cache-hit
+  guarantee).
+
+Results merge into the ``BENCH_PERF.json`` written by
+``bench_kernels.py`` (existing sections are preserved) under a
+``"multilevel"`` key.  Exit status 1 on any gate failure.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_multilevel.py [--quick]
+        [--out BENCH_PERF.json]
+
+``--quick`` shrinks the sweep for the CI perf-smoke job; the speedup
+gate is skipped there (quick sizes are too small for the V-cycle to
+win) but the HPWL, legality, and determinism gates still apply.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.core import PlacerOptions, StructureAwarePlacer
+from repro.eval import evaluate_placement
+from repro.gen import datapath_fraction_design
+from repro.place.multilevel import MultilevelOptions
+from repro.runtime import ArtifactCache, apply_positions
+from repro.runtime.cache import job_key, snapshot_positions
+
+HPWL_TOL = 0.02        # multilevel may not be worse than flat by more
+SPEEDUP_MIN = 3.0      # end-to-end, at the largest >=3200-cell point
+
+
+def _options(multilevel: bool) -> PlacerOptions:
+    opts = PlacerOptions(seed=0)
+    if multilevel:
+        opts.multilevel = MultilevelOptions(enabled=True)
+    return opts
+
+
+def _place(n: int, multilevel: bool) -> dict:
+    """One end-to-end run on a freshly generated F4 design."""
+    gd = datapath_fraction_design(f"f4_{n}", n, 0.55, seed=9)
+    t0 = time.perf_counter()
+    outcome = StructureAwarePlacer(_options(multilevel)).place(
+        gd.netlist, gd.region)
+    dt = time.perf_counter() - t0
+    report = evaluate_placement(gd.netlist, gd.region)
+    return {
+        "design": f"f4_{n}", "cells": gd.netlist.num_cells,
+        "hpwl": round(report.hpwl, 3), "legal": bool(report.legal),
+        "time_s": round(dt, 3),
+        "extract_s": round(outcome.extract_s, 3),
+        "gp_s": round(outcome.gp_s, 3),
+        "legalize_s": round(outcome.legalize_s, 3),
+        "detailed_s": round(outcome.detailed_s, 3),
+    }
+
+
+def sweep(sizes: tuple[int, ...], failures: list[str],
+          *, gate_speedup: bool) -> list[dict]:
+    rows = []
+    for n in sizes:
+        flat = _place(n, multilevel=False)
+        ml = _place(n, multilevel=True)
+        speedup = flat["time_s"] / max(ml["time_s"], 1e-9)
+        delta = (ml["hpwl"] - flat["hpwl"]) / max(flat["hpwl"], 1e-9)
+        row = {"cells": flat["cells"], "flat": flat, "multilevel": ml,
+               "speedup": round(speedup, 2),
+               "hpwl_delta": round(delta, 4)}
+        rows.append(row)
+        print(f"  f4_{n:<6} {flat['cells']:>6} cells   "
+              f"flat {flat['time_s']:7.2f} s   "
+              f"ml {ml['time_s']:7.2f} s   {speedup:5.2f}x   "
+              f"hpwl {delta * 100:+.2f}%")
+        if not flat["legal"]:
+            failures.append(f"f4_{n}: flat placement is not legal")
+        if not ml["legal"]:
+            failures.append(f"f4_{n}: multilevel placement is not legal")
+        if delta > HPWL_TOL:
+            failures.append(
+                f"f4_{n}: multilevel HPWL {delta * 100:+.2f}% vs flat "
+                f"exceeds {HPWL_TOL * 100:.0f}% tolerance")
+    if gate_speedup:
+        gated = [r for r in rows if r["cells"] >= 3200]
+        if not gated:
+            failures.append("no sweep point at >=3200 cells for the "
+                            "speedup gate")
+        else:
+            top = max(gated, key=lambda r: r["cells"])
+            if top["speedup"] < SPEEDUP_MIN:
+                failures.append(
+                    f"largest point ({top['cells']} cells): "
+                    f"{top['speedup']:.2f}x < required "
+                    f"{SPEEDUP_MIN:.0f}x speedup")
+    return rows
+
+
+def check_determinism(n: int, failures: list[str]) -> dict:
+    """Bit-stability across reruns + exact artifact-cache round-trip."""
+    designs = [datapath_fraction_design(f"f4_{n}", n, 0.55, seed=9)
+               for _ in range(2)]
+    for gd in designs:
+        StructureAwarePlacer(_options(True)).place(gd.netlist, gd.region)
+    snaps = [snapshot_positions(gd.netlist) for gd in designs]
+    stable = snaps[0] == snaps[1]
+    if not stable:
+        diff = sum(1 for k in snaps[0] if snaps[0][k] != snaps[1][k])
+        failures.append(
+            f"f4_{n}: multilevel positions differ across reruns "
+            f"({diff} cells)")
+
+    # cache round-trip: a stored artifact must reproduce the positions
+    # bit-identically on a fresh design (the second-run cache-hit path)
+    with tempfile.TemporaryDirectory() as tmp:
+        cache = ArtifactCache(tmp)
+        key = job_key(designs[0].netlist, "structure", _options(True), 0)
+        cache.put(key, {"positions": snaps[0]})
+        loaded = cache.get(key)
+        hit = loaded is not None
+        exact = False
+        if hit:
+            fresh = datapath_fraction_design(f"f4_{n}", n, 0.55, seed=9)
+            apply_positions(fresh.netlist, loaded["positions"])
+            exact = snapshot_positions(fresh.netlist) == snaps[0]
+        flat_key = job_key(designs[0].netlist, "structure",
+                           _options(False), 0)
+    if not hit or not exact:
+        failures.append(f"f4_{n}: cached multilevel artifact did not "
+                        f"round-trip positions exactly")
+    if flat_key == key:
+        failures.append("multilevel options do not change the cache key")
+    print(f"  determinism @ f4_{n}: rerun_stable={stable} "
+          f"cache_hit={hit} cache_exact={exact} "
+          f"key_differs_from_flat={flat_key != key}")
+    return {"design": f"f4_{n}", "rerun_stable": stable,
+            "cache_round_trip": hit and exact,
+            "key_differs_from_flat": flat_key != key}
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true",
+                        help="small sweep for the CI smoke job (HPWL and "
+                             "determinism gates only)")
+    parser.add_argument("--out", default="BENCH_PERF.json",
+                        help="merged output JSON path (default: repo root)")
+    args = parser.parse_args(argv)
+
+    sizes = (400, 800) if args.quick else (1600, 3200, 6400, 12800)
+    stability_n = 400 if args.quick else 3200
+    failures: list[str] = []
+
+    print("== F4 sweep: flat vs multilevel ==")
+    rows = sweep(sizes, failures, gate_speedup=not args.quick)
+    print("== determinism ==")
+    determinism = check_determinism(stability_n, failures)
+
+    section = {
+        "config": {
+            "quick": bool(args.quick),
+            "hpwl_tolerance": HPWL_TOL,
+            "speedup_min": None if args.quick else SPEEDUP_MIN,
+            "options": "MultilevelOptions() defaults",
+            "python": sys.version.split()[0],
+            "numpy": np.__version__,
+        },
+        "sweep": rows,
+        "determinism": determinism,
+        "gates_passed": not failures,
+    }
+    out_path = Path(args.out)
+    report: dict = {}
+    if out_path.exists():
+        try:
+            report = json.loads(out_path.read_text())
+        except json.JSONDecodeError:
+            report = {}
+    report["multilevel"] = section
+    out_path.write_text(json.dumps(report, indent=2) + "\n")
+    print(f"wrote {out_path} (multilevel section "
+          f"{'merged' if len(report) > 1 else 'created'})")
+    if failures:
+        print("GATE FAILURES:")
+        for f in failures:
+            print(f"  {f}")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

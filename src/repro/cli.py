@@ -38,6 +38,7 @@ from .eval import evaluate_placement, format_table, score_extraction
 from .gen import build_design, design_names, suite_names
 from .netlist import compute_stats
 from .netlist.validate import errors as validation_errors, validate
+from .place.multilevel import MultilevelOptions
 from .runtime import apply_positions, render_profile, run_suite
 
 _PLACER_SETS = {
@@ -82,11 +83,18 @@ def _emit(rows: list[dict], title: str, as_json: bool) -> None:
 
 
 def _placer_options(args: argparse.Namespace) -> PlacerOptions:
-    return PlacerOptions(
+    options = PlacerOptions(
         structure_weight=args.structure_weight,
         structure_legalization=args.legalization,
         seed=args.seed,
     )
+    if getattr(args, "multilevel", False):
+        options.multilevel = MultilevelOptions(
+            enabled=True,
+            max_levels=args.levels,
+            cluster_ratio=args.cluster_ratio,
+        )
+    return options
 
 
 def _cmd_suite(_args: argparse.Namespace) -> int:
@@ -262,6 +270,14 @@ def main(argv: list[str] | None = None) -> int:
                        help="print the telemetry span tree (per-phase "
                             "wall time, solve counts, cache hits) after "
                             "the results")
+        p.add_argument("--multilevel", action="store_true",
+                       help="run global placement through the multilevel "
+                            "V-cycle (cluster, place coarse, refine down)")
+        p.add_argument("--levels", type=int, default=3,
+                       help="maximum coarsening levels for --multilevel")
+        p.add_argument("--cluster-ratio", type=float, default=0.4,
+                       help="coarse/fine movable-cell ratio per level "
+                            "for --multilevel")
 
     p_gen = sub.add_parser("gen", help="emit a design as Bookshelf files")
     add_design_args(p_gen, with_aux=False)

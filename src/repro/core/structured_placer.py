@@ -30,6 +30,7 @@ from ..place.abacus import abacus_legalize
 from ..place.arrays import PlacementArrays
 from ..place.detailed import detailed_place
 from ..place.legalize import check_legal, tetris_legalize
+from ..place.multilevel import MultilevelOptions, multilevel_place
 from ..place.nonlinear import NonlinearOptions, NonlinearPlacer
 from ..place.quadratic import (GlobalPlaceOptions, IterationStat,
                                QuadraticPlacer)
@@ -58,6 +59,12 @@ class PlacerOptions:
             ``"none"``.
         run_detailed: run detailed placement after legalization.
         gp: global-placement loop knobs.
+        multilevel: V-cycle knobs; when ``multilevel.enabled`` the
+            global-placement stage coarsens the netlist (extracted
+            bit-slice bundles stay atomic), places the coarsest level,
+            and refines back down with warm-started solves.  A
+            recoverable multilevel failure falls back to flat placement
+            inside the engine (tracer event ``multilevel_fallback``).
         nonlinear: knobs for the nonlinear engine (when selected).
         extraction: extraction knobs (structure-aware only).
         guard: numerical-guard knobs applied to whichever engine runs;
@@ -73,6 +80,7 @@ class PlacerOptions:
     structure_legalization: str = "slices"
     run_detailed: bool = True
     gp: GlobalPlaceOptions = field(default_factory=GlobalPlaceOptions)
+    multilevel: MultilevelOptions = field(default_factory=MultilevelOptions)
     nonlinear: NonlinearOptions = field(default_factory=NonlinearOptions)
     extraction: ExtractionOptions = field(default_factory=ExtractionOptions)
     guard: GuardOptions = field(default_factory=GuardOptions)
@@ -391,12 +399,25 @@ def _require_all_placed(result, netlist: Netlist) -> None:
 def _run_engine(arrays: PlacementArrays, region: PlacementRegion,
                 options: PlacerOptions, forces, groups, post_solve=None,
                 tracer: Tracer | None = None, checkpoint=None,
-                resume=None):
+                resume=None, atomic_groups=None):
     resume_x = resume_y = None
     resume_iteration = 0
     if resume is not None and resume.matches(arrays.num_cells):
         resume_x, resume_y = resume.x, resume.y
         resume_iteration = resume.iteration
+    if options.multilevel.enabled:
+        result = multilevel_place(
+            arrays, region,
+            gp_options=options.gp, ml_options=options.multilevel,
+            engine=options.engine, nonlinear_options=options.nonlinear,
+            extra_pairs_x=forces.pairs_x if forces else None,
+            extra_pairs_y=forces.pairs_y if forces else None,
+            groups=groups, post_solve=post_solve, tracer=tracer,
+            guard=options.guard, checkpoint=checkpoint,
+            atomic_groups=atomic_groups,
+            resume_x=resume_x, resume_y=resume_y,
+            resume_iteration=resume_iteration)
+        return result.x, result.y, result.history
     if options.engine == "quadratic":
         placer = QuadraticPlacer(
             arrays, region, options=options.gp,
@@ -478,12 +499,19 @@ class StructureAwarePlacer:
                     if opts.use_fusion else None
                 post_solve = make_reprojector(plans, arrays, region) \
                     if opts.use_fusion and plans else None
+                # extracted bit slices become atomic multilevel clusters
+                atomic_groups = [[c.index for c in s]
+                                 for plan in plans
+                                 for s in plan.array.slices
+                                 if len(s) >= 2] \
+                    if opts.multilevel.enabled else None
 
                 x, y, history = _run_engine(arrays, region, opts, forces,
                                             groups, post_solve,
                                             tracer=tracer,
                                             checkpoint=checkpoint,
-                                            resume=resume)
+                                            resume=resume,
+                                            atomic_groups=atomic_groups)
                 arrays.write_back(x, y)
                 hpwl_gp = netlist.hpwl()
 
@@ -562,6 +590,7 @@ class BaselinePlacer:
             structure_legalization="none",
             run_detailed=base.run_detailed,
             gp=base.gp,
+            multilevel=base.multilevel,
             nonlinear=base.nonlinear,
             extraction=base.extraction,
             guard=base.guard,

@@ -61,53 +61,88 @@ class _Segment:
     x1: float
     site: float
     clusters: list[_Cluster] = field(default_factory=list)
+    # running total of cluster widths (incremental ``capacity_left``)
+    used: float = 0.0
+    # per-cluster displacement cost at its current optimal position,
+    # parallel to ``clusters``, plus its running prefix sum — lets a
+    # trial price untouched clusters without walking their cells
+    costs: list[float] = field(default_factory=list)
+    prefix: list[float] = field(default_factory=list)
 
     def capacity_left(self) -> float:
-        used = sum(c.width for c in self.clusters)
-        return (self.x1 - self.x0) - used
+        return (self.x1 - self.x0) - self.used
 
-    def _collapse(self, clusters: list[_Cluster]) -> None:
-        """Re-establish order/no-overlap by merging colliding clusters."""
-        i = len(clusters) - 1
-        while i > 0:
-            cur = clusters[i]
-            prev = clusters[i - 1]
-            prev_x = prev.optimal_x(self.x0, self.x1)
-            cur_x = cur.optimal_x(self.x0, self.x1)
-            if prev_x + prev.width > cur_x + 1e-9:
-                prev.merge(cur)
-                del clusters[i]
-                i = min(i, len(clusters) - 1)
-            else:
-                i -= 1
+    def _cluster_cost(self, cl: _Cluster) -> float:
+        x = cl.optimal_x(self.x0, self.x1)
+        run = x
+        cost = 0.0
+        for c in cl.cells:
+            cost += abs(run - c.x)
+            run += c.width
+        return cost
 
     def trial_add(self, cell: Cell, desired_x: float
-                  ) -> tuple[float, list[_Cluster]] | None:
-        """Cost and resulting cluster list of adding ``cell``; None if the
-        segment lacks space."""
+                  ) -> tuple[float, int, _Cluster] | None:
+        """Price adding ``cell`` at the segment's right end.
+
+        Cells arrive in increasing-x order and pre-existing clusters are
+        mutually non-overlapping at their optimal positions, so the
+        Abacus collapse can only cascade leftward from the appended
+        cluster.  The trial therefore folds the new cell into a running
+        composite ``(q, weight, width)`` and absorbs left neighbours
+        while they overlap — O(affected clusters), no copying — then
+        prices the composite by walking only the absorbed cells; every
+        untouched cluster contributes its cached cost via the prefix
+        sums.  Semantically identical to collapsing a full copy of the
+        cluster list and walking every cell.
+
+        Returns:
+            ``(total_cost, keep, merged)`` where ``clusters[:keep]``
+            survive unchanged and ``merged`` replaces the rest, or None
+            if the segment lacks space.
+        """
         if cell.width > self.capacity_left() + 1e-9:
             return None
-        clusters = [
-            _Cluster(x=c.x, width=c.width, weight=c.weight, q=c.q,
-                     cells=list(c.cells))
-            for c in self.clusters
-        ]
-        new = _Cluster()
-        new.add_cell(cell, desired_x)
-        clusters.append(new)
-        self._collapse(clusters)
-        cost = 0.0
-        for cl in clusters:
-            x = cl.optimal_x(self.x0, self.x1)
-            run = x
-            for c in cl.cells:
-                want = desired_x if c is cell else c.x
-                cost += abs(run - want)
-                run += c.width
-        return cost, clusters
+        # composite of the would-be rightmost cluster, seeded with the
+        # new cell exactly as _Cluster.add_cell would
+        q = desired_x
+        weight = 1.0
+        width = cell.width
+        keep = len(self.clusters)
+        while keep > 0:
+            prev = self.clusters[keep - 1]
+            prev_x = prev.optimal_x(self.x0, self.x1)
+            comp_x = min(max(q / max(weight, 1e-12), self.x0),
+                         self.x1 - width)
+            if prev_x + prev.width <= comp_x + 1e-9:
+                break
+            # prev absorbs the composite (composite sits to prev's right)
+            q = prev.q + q - weight * prev.width
+            width = prev.width + width
+            weight = prev.weight + weight
+            keep -= 1
+        merged = _Cluster(width=width, weight=weight, q=q)
+        for cl in self.clusters[keep:]:
+            merged.cells.extend(cl.cells)
+        merged.cells.append(cell)
+        x = merged.optimal_x(self.x0, self.x1)
+        run = x
+        cost = self.prefix[keep] if keep > 0 else 0.0
+        for c in merged.cells:
+            want = desired_x if c is cell else c.x
+            cost += abs(run - want)
+            run += c.width
+        return cost, keep, merged
 
-    def commit(self, clusters: list[_Cluster]) -> None:
-        self.clusters = clusters
+    def commit(self, keep: int, merged: _Cluster, width: float) -> None:
+        del self.clusters[keep:]
+        del self.costs[keep:]
+        self.clusters.append(merged)
+        self.costs.append(self._cluster_cost(merged))
+        self.prefix = [0.0]
+        for c in self.costs:
+            self.prefix.append(self.prefix[-1] + c)
+        self.used += width
 
     def realize(self, region: PlacementRegion) -> None:
         """Write final, site-snapped positions into the cells."""
@@ -171,7 +206,7 @@ def abacus_legalize(netlist: Netlist, region: PlacementRegion, *,
     for cell in order:
         want_x, want_y = cell.x, cell.center_y
         base = region.nearest_row(want_y).index
-        best: tuple[float, _Segment, list[_Cluster]] | None = None
+        best: tuple[float, _Segment, int, _Cluster] | None = None
         span = row_search_span
         while best is None and span <= 4 * max(region.num_rows,
                                                row_search_span):
@@ -186,19 +221,19 @@ def abacus_legalize(netlist: Netlist, region: PlacementRegion, *,
                     trial = seg.trial_add(cell, want_x)
                     if trial is None:
                         continue
-                    cost, clusters = trial
+                    cost, keep, merged = trial
                     total = cost + dy
                     if best is None or total < best[0]:
-                        best = (total, seg, clusters)
+                        best = (total, seg, keep, merged)
             span *= 2
         if best is None:
             failed.append(cell.name)
             continue
-        _cost, seg, clusters = best
+        _cost, seg, keep, merged = best
         # record the desired position on the committed copy of the cell:
         # trial_add stored ``cell`` itself inside the cluster, so commit
         cell.x = want_x  # desired kept until realize()
-        seg.commit(clusters)
+        seg.commit(keep, merged, cell.width)
 
     total_disp = 0.0
     max_disp = 0.0

@@ -20,6 +20,8 @@ from __future__ import annotations
 import itertools
 from dataclasses import dataclass
 
+import numpy as np
+
 from ..kernels import IncrementalHPWL
 from ..netlist import Cell, Netlist
 from .region import PlacementRegion
@@ -66,35 +68,57 @@ class DetailedStats:
 
 def global_swap_pass(netlist: Netlist, *, frozen: set[str] | None = None,
                      neighborhood: float | None = None,
-                     inc: IncrementalHPWL | None = None) -> int:
+                     inc: IncrementalHPWL | None = None,
+                     max_candidates: int = 8,
+                     max_net_degree: int = 16) -> int:
     """One pass of improving same-footprint cell swaps.
 
-    Candidate partners are drawn from cells connected through shared nets
-    (cheap and effective: they are the cells whose positions matter to the
-    same nets).
+    Candidate partners are cells sharing a *small* net (they are the
+    cells whose positions matter to the same wires; high-fanout control
+    nets relate everything to everything and are skipped).  The
+    same-footprint partner sets are precomputed in one sweep over the
+    nets — the per-cell object-model neighbourhood walk used to dominate
+    this pass — and each cell then tries at most ``max_candidates``
+    partners, nearest first by current squared distance (ties by cell
+    index, so the pass is deterministic).
 
     Args:
         inc: shared incremental-HPWL oracle; built locally when absent.
             Must be in sync with the netlist's current positions.
+        max_candidates: swap attempts per cell (nearest-K cap).
+        max_net_degree: nets above this degree contribute no candidates.
 
     Returns:
         Number of accepted swaps.
     """
     frozen = frozen or set()
     inc = inc or IncrementalHPWL(netlist)
+    eligible: dict[int, Cell] = {
+        c.index: c for c in netlist.movable_cells()
+        if c.name not in frozen}
+    partners_of: dict[int, set[int]] = {}
+    for net in netlist.nets:
+        if net.weight == 0.0 or not 2 <= net.degree <= max_net_degree:
+            continue
+        members = [c for c in net.cells() if c.index in eligible]
+        for ai, a in enumerate(members):
+            for b in members[ai + 1:]:
+                if (a.width == b.width and a.height == b.height
+                        and a is not b):
+                    partners_of.setdefault(a.index, set()).add(b.index)
+                    partners_of.setdefault(b.index, set()).add(a.index)
+
     accepted = 0
-    for cell in netlist.movable_cells():
-        if cell.name in frozen:
+    for cell in eligible.values():
+        ids = partners_of.get(cell.index)
+        if not ids:
             continue
-        # candidate partners: two-hop connected cells with equal footprint
-        candidates: list[Cell] = []
-        for nb in netlist.neighbors(cell):
-            if (nb.movable and nb.name not in frozen
-                    and nb.width == cell.width
-                    and nb.height == cell.height and nb is not cell):
-                candidates.append(nb)
-        if not candidates:
-            continue
+        candidates = [eligible[i] for i in sorted(ids)]
+        if len(candidates) > max_candidates:
+            d2 = np.array([(p.x - cell.x) ** 2 + (p.y - cell.y) ** 2
+                           for p in candidates])
+            keep = np.argsort(d2, kind="stable")[:max_candidates]
+            candidates = [candidates[i] for i in keep]
         for other in candidates:
             _swap(cell, other)
             before, after = inc.propose([cell.index, other.index],

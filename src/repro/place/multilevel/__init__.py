@@ -1,0 +1,22 @@
+"""Multilevel (V-cycle) global placement.
+
+Coarsen the netlist with structure-preserving clustering (extracted
+bit-slice bundles stay atomic), place the coarsest level from scratch,
+then interpolate and refine level by level with warm-started solves.
+See :mod:`repro.place.multilevel.vcycle` for the controller.
+"""
+
+from .clustering import Clustering, cluster_cells, pair_affinities
+from .coarsen import build_coarse_netlist, interpolate_positions
+from .options import MultilevelOptions
+from .vcycle import multilevel_place
+
+__all__ = [
+    "Clustering",
+    "MultilevelOptions",
+    "build_coarse_netlist",
+    "cluster_cells",
+    "interpolate_positions",
+    "multilevel_place",
+    "pair_affinities",
+]

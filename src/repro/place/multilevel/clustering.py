@@ -1,0 +1,210 @@
+"""Structure-preserving clustering for multilevel placement.
+
+One coarsening step partitions the cells of a level into clusters:
+
+- **Atomic bundles** — extracted bit-slice groups seed closed clusters
+  that never merge and never split, so datapath regularity survives
+  coarsening and the declusterer can restore slice formation exactly.
+- **Fixed cells** — singleton clusters, never merged (they stay fixed at
+  their positions on every level).
+- **Remaining logic** — greedy best-choice merging by edge affinity: each
+  small net of weight ``w`` and distinct-cell degree ``d`` contributes
+  ``w / (d - 1)`` affinity to every cell pair it connects (the standard
+  clique discount), and a cluster repeatedly absorbs the neighbour with
+  the best ``affinity / (1 + combined area)`` score subject to an area
+  cap, until the level shrinks below the target size or no legal merge
+  remains.
+
+The result is a dense ``cluster_of`` index map (fine cell -> cluster id)
+that interpolation applies vectorized (``x_fine = X[cluster_of] + dx``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..arrays import PlacementArrays
+
+
+@dataclass
+class Clustering:
+    """A one-step clustering of a level's cells.
+
+    Attributes:
+        cluster_of: (N,) int64 — cluster id of every fine cell; ids are
+            dense in ``[0, num_clusters)`` and double as the coarse
+            netlist's cell indices.
+        members: cluster id -> fine cell indices.  For atomic bundle
+            clusters the order is the bundle's slice/stage order (the
+            declusterer lays members out left-to-right in it); generic
+            clusters list members in ascending index order.
+        atomic: (C,) bool — True for bundle clusters.
+    """
+
+    cluster_of: np.ndarray
+    members: list[list[int]]
+    atomic: np.ndarray
+
+    @property
+    def num_clusters(self) -> int:
+        return len(self.members)
+
+
+def pair_affinities(arrays: PlacementArrays, max_degree: int
+                    ) -> dict[tuple[int, int], float]:
+    """Clique-model cell-pair affinities from small nets.
+
+    Nets with more than ``max_degree`` distinct cells are skipped: a
+    high-fanout net says nothing about which two of its sinks belong
+    together, and its O(d^2) pairs would dominate the affinity map.
+    """
+    aff: dict[tuple[int, int], float] = {}
+    starts = arrays.net_start
+    pin_cell = arrays.pin_cell
+    weights = arrays.net_weight
+    for j in range(arrays.num_nets):
+        w = float(weights[j])
+        if w <= 0.0:
+            continue
+        cells = np.unique(pin_cell[starts[j]:starts[j + 1]])
+        d = len(cells)
+        if d < 2 or d > max_degree:
+            continue
+        a = w / (d - 1)
+        for ii in range(d):
+            ci = int(cells[ii])
+            for jj in range(ii + 1, d):
+                key = (ci, int(cells[jj]))
+                aff[key] = aff.get(key, 0.0) + a
+    return aff
+
+
+def cluster_cells(arrays: PlacementArrays, *, target: int, area_cap: float,
+                  atomic_groups: list[list[int]] | None = None,
+                  max_affinity_degree: int = 8,
+                  max_passes: int = 12) -> Clustering:
+    """Cluster one level's cells down toward ``target`` clusters.
+
+    Args:
+        arrays: the level's flattened netlist (affinity source).
+        target: desired total cluster count (the loop stops merging once
+            reached; the result may stay above it if no legal merges
+            remain).
+        area_cap: maximum area of a merged cluster.  Atomic bundles may
+            exceed it (they are seeds, not merge products).
+        atomic_groups: cell-index lists (in slice order) that become
+            closed clusters.  Cells claimed by an earlier group are
+            dropped from later ones, so every cell lands in exactly one
+            cluster.
+        max_affinity_degree: see :func:`pair_affinities`.
+        max_passes: merge-pass budget (each pass rebuilds cluster-level
+            affinities from the current mapping).
+    """
+    n = arrays.num_cells
+    areas = arrays.area
+    movable = arrays.movable
+
+    # --- seed clusters -------------------------------------------------
+    cluster_of = np.full(n, -1, dtype=np.int64)
+    bundle_order: dict[int, list[int]] = {}
+    next_id = 0
+    for group in atomic_groups or []:
+        ms = [int(i) for i in group
+              if movable[i] and cluster_of[i] < 0]
+        if len(ms) < 2:
+            continue
+        for i in ms:
+            cluster_of[i] = next_id
+        bundle_order[next_id] = ms
+        next_id += 1
+    n_atomic = next_id
+    for i in range(n):
+        if cluster_of[i] < 0:
+            cluster_of[i] = next_id
+            next_id += 1
+    n_seeds = next_id
+
+    mergeable = np.ones(n_seeds, dtype=bool)
+    mergeable[:n_atomic] = False                       # bundles are closed
+    mergeable[cluster_of[~movable]] = False            # fixed = singletons
+
+    # --- greedy best-choice merging over the cluster graph -------------
+    parent = np.arange(n_seeds, dtype=np.int64)
+
+    def find(u: int) -> int:
+        root = u
+        while parent[root] != root:
+            root = parent[root]
+        while parent[u] != root:                       # path compression
+            parent[u], u = root, parent[u]
+        return root
+
+    aff = pair_affinities(arrays, max_affinity_degree)
+    count = n_seeds
+    for _ in range(max_passes):
+        if count <= target:
+            break
+        cl_aff: dict[tuple[int, int], float] = {}
+        for (ci, cj), a in aff.items():
+            cu = find(cluster_of[ci])
+            cv = find(cluster_of[cj])
+            if cu == cv:
+                continue
+            key = (cu, cv) if cu < cv else (cv, cu)
+            cl_aff[key] = cl_aff.get(key, 0.0) + a
+        if not cl_aff:
+            break
+        nbr: dict[int, list[tuple[int, float]]] = {}
+        for (cu, cv), a in cl_aff.items():
+            nbr.setdefault(cu, []).append((cv, a))
+            nbr.setdefault(cv, []).append((cu, a))
+        carea: dict[int, float] = {}
+        for i in range(n):
+            r = find(cluster_of[i])
+            carea[r] = carea.get(r, 0.0) + float(areas[i])
+
+        merged_any = False
+        absorbed_into: set[int] = set()
+        for u in sorted(nbr):
+            if count <= target:
+                break
+            if find(u) != u or not mergeable[u] or u in absorbed_into:
+                continue
+            best: tuple[float, int] | None = None
+            for v, a in nbr[u]:
+                vr = find(v)
+                if vr == u or not mergeable[vr]:
+                    continue
+                if carea[u] + carea[vr] > area_cap:
+                    continue
+                score = a / (1.0 + carea[u] + carea[vr])
+                if best is None or score > best[0] \
+                        or (score == best[0] and vr < best[1]):
+                    best = (score, vr)
+            if best is None:
+                continue
+            vr = best[1]
+            parent[u] = vr
+            carea[vr] += carea.pop(u)
+            absorbed_into.add(vr)
+            count -= 1
+            merged_any = True
+        if not merged_any:
+            break
+
+    # --- compact relabel -----------------------------------------------
+    roots = np.fromiter((find(cluster_of[i]) for i in range(n)),
+                        dtype=np.int64, count=n)
+    uniq, compact = np.unique(roots, return_inverse=True)
+    members: list[list[int]] = [[] for _ in range(len(uniq))]
+    for i in range(n):
+        members[compact[i]].append(i)
+    atomic = np.zeros(len(uniq), dtype=bool)
+    for k, r in enumerate(uniq):
+        if r < n_atomic:
+            atomic[k] = True
+            members[k] = bundle_order[int(r)]          # keep slice order
+    return Clustering(cluster_of=compact.astype(np.int64),
+                      members=members, atomic=atomic)

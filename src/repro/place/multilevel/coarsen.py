@@ -1,0 +1,116 @@
+"""Coarse netlist construction from a clustering.
+
+Each cluster becomes one coarse cell whose index equals its cluster id,
+so ``Clustering.cluster_of`` doubles as the vectorized cluster -> coarse
+cell index map.  Multi-member clusters get a synthesized row-height
+master of equal total area with a single center pin; singletons keep
+their member's footprint and fixed flag (I/O pads stay fixed obstacles
+on every level).  Fine hyperedges are projected through the map,
+restricted to clusters they still distinguish, and deduplicated: nets
+covering the same cluster set collapse into one coarse net with summed
+weight, which shrinks the coarse system far below a naive projection.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ...netlist import Netlist
+from ...netlist.library import CellType, Library, PinDirection, PinSpec
+from .clustering import Clustering
+
+
+def build_coarse_netlist(fine: Netlist, clustering: Clustering,
+                         name: str) -> Netlist:
+    """Reduce ``fine`` to one cell per cluster and deduplicated nets."""
+    if fine.library is not None:
+        row_h = fine.library.row_height
+        site_w = fine.library.site_width
+    else:
+        row_h = max((c.height for c in fine.cells), default=8.0)
+        site_w = 1.0
+    lib = Library(name=f"{name}_lib", site_width=site_w, row_height=row_h)
+    coarse = Netlist(name=name, library=lib)
+
+    cells = fine.cells
+    for cid, ms in enumerate(clustering.members):
+        if len(ms) == 1:
+            c = cells[ms[0]]
+            w, h = c.width, c.height
+            fixed = c.fixed
+            cx, cy = c.center_x, c.center_y
+        else:
+            area = float(sum(cells[i].area for i in ms))
+            h = row_h
+            w = area / h
+            fixed = False
+            cx = sum(cells[i].center_x * cells[i].area for i in ms) / area
+            cy = sum(cells[i].center_y * cells[i].area for i in ms) / area
+        master = lib.add(CellType(
+            name=f"CL_{w!r}x{h!r}", width=w, height=h,
+            pins=(PinSpec("P", PinDirection.INOUT,
+                          x_offset=w / 2.0, y_offset=h / 2.0),)))
+        coarse.add_cell(f"c{cid}", master, x=cx - w / 2.0, y=cy - h / 2.0,
+                        fixed=fixed)
+
+    cluster_of = clustering.cluster_of
+    edges: dict[tuple[int, ...], float] = {}
+    for net in fine.nets:
+        if net.weight == 0.0 or net.degree < 2:
+            continue
+        touched = {int(cluster_of[ref.cell.index]) for ref in net.pins}
+        if len(touched) < 2:
+            continue
+        key = tuple(sorted(touched))
+        edges[key] = edges.get(key, 0.0) + net.weight
+    for k, (key, weight) in enumerate(edges.items()):
+        net = coarse.add_net(f"n{k}", weight=weight)
+        for cid in key:
+            coarse.connect(net, coarse.cells[cid], "P")
+    return coarse
+
+
+def interpolate_positions(clustering: Clustering, fine_widths: np.ndarray,
+                          fine_heights: np.ndarray, fine_areas: np.ndarray,
+                          coarse_x: np.ndarray, coarse_y: np.ndarray
+                          ) -> tuple[np.ndarray, np.ndarray]:
+    """Decluster coarse cell centers to fine cell centers.
+
+    Members scatter over their cluster's footprint instead of stacking at
+    its center — coincident pins make the next refinement's B2B system
+    catastrophically ill-conditioned.  Bundle clusters lay members out
+    left-to-right in slice order at the cluster's y (slice-aligned
+    placement); generic clusters use a near-square grid at the member
+    pitch.  Both layouts are shifted so the members' area-weighted
+    centroid lands exactly on the cluster center, which makes a 1-level
+    cluster/decluster cycle the identity on cluster centroids.
+    """
+    n = fine_widths.shape[0]
+    dx = np.zeros(n)
+    dy = np.zeros(n)
+    for cid, ms in enumerate(clustering.members):
+        k = len(ms)
+        if k <= 1:
+            continue
+        idx = np.asarray(ms, dtype=np.int64)
+        if clustering.atomic[cid]:
+            widths = fine_widths[idx]
+            run = np.concatenate([[0.0], np.cumsum(widths)[:-1]])
+            dx[idx] = run + widths / 2.0 - widths.sum() / 2.0
+            dy[idx] = 0.0
+        else:
+            ncols = int(np.ceil(np.sqrt(k)))
+            nrows = int(np.ceil(k / ncols))
+            pitch_x = float(np.mean(fine_widths[idx])) * 1.25
+            pitch_y = float(np.mean(fine_heights[idx]))
+            t = np.arange(k)
+            col = t % ncols
+            row = t // ncols
+            dx[idx] = (col - (ncols - 1) / 2.0) * pitch_x
+            dy[idx] = (row - (nrows - 1) / 2.0) * pitch_y
+        w = fine_areas[idx]
+        dx[idx] -= float(np.average(dx[idx], weights=w))
+        dy[idx] -= float(np.average(dy[idx], weights=w))
+    x = coarse_x[clustering.cluster_of] + dx
+    y = coarse_y[clustering.cluster_of] + dy
+    return x, y

@@ -41,6 +41,14 @@ from .wirelength import hpwl
 _CG_BUDGET = 200
 _CG_BUDGET_MIN = 25
 
+# CG budget when an ILU preconditioner is active.  An ILU-preconditioned
+# iteration costs about the same as a Jacobi one, but a solve that needs
+# more than ~10 iterations is mildly degenerate rather than hopeless —
+# a few hundred more iterations usually converge it, and burning them
+# is far cheaper than the direct fallback they avoid.  Fixed, not
+# adaptive: each solve gets a fresh factor, so past stalls say nothing.
+_CG_BUDGET_ILU = 600
+
 
 @dataclass
 class GlobalPlaceOptions:
@@ -106,6 +114,28 @@ class QuadraticPlacer:
             garbage positions.
         checkpoint: optional ``(iteration, x, y)`` hook called once per
             outer iteration — the runtime's checkpoint/resume recorder.
+        warm_seed: warm-start policy for a *cold* axis solve (no previous
+            solution of matching shape).  ``"direct"`` (default) seeds CG
+            at the exact direct-solve result, so the first GP iteration
+            follows the direct trajectory independent of the CG budget;
+            ``"coords"`` seeds from the current coordinates — used by the
+            multilevel refinement passes, whose interpolated positions
+            are already near the solution and must not pay a factorize.
+        preconditioner: ``"jacobi"`` (default) — diagonal scaling with
+            the direct fallback on CG stagnation; ``"ilu"`` — an
+            incomplete-LU factor built per solve, after which CG
+            converges in ~10 iterations.  The refactor sounds wasteful
+            but is ~10-30x cheaper than one full factorization, and the
+            B2B linearisation moves enough between refinement rounds
+            that a frozen factor stalls CG into the direct fallback —
+            this policy is what makes multilevel refinement cheap at
+            scale.
+        min_distance: pin-separation clamp forwarded to
+            :meth:`repro.place.b2b.B2BBuilder.build_axis` (None keeps
+            the builder default).  Refinement passes raise it to ~1
+            site: row-aligned spread positions put many pins at
+            coincident y, and the default clamp turns those into
+            near-singular systems.
     """
 
     def __init__(self, arrays: PlacementArrays, region: PlacementRegion,
@@ -117,7 +147,10 @@ class QuadraticPlacer:
                  post_solve=None,
                  tracer: Tracer | None = None,
                  guard: GuardOptions | None = None,
-                 checkpoint=None):
+                 checkpoint=None,
+                 warm_seed: str = "direct",
+                 preconditioner: str = "jacobi",
+                 min_distance: float | None = None):
         self.arrays = arrays
         self.region = region
         self.options = options or GlobalPlaceOptions()
@@ -135,6 +168,14 @@ class QuadraticPlacer:
         # checkpoint(iteration, x, y): periodic snapshot hook used by the
         # runtime's crash/timeout resume path
         self.checkpoint = checkpoint
+        if warm_seed not in ("direct", "coords"):
+            raise ValueError(f"unknown warm_seed policy: {warm_seed!r}")
+        self.warm_seed = warm_seed
+        if preconditioner not in ("jacobi", "ilu"):
+            raise ValueError(
+                f"unknown preconditioner policy: {preconditioner!r}")
+        self.preconditioner = preconditioner
+        self.min_distance = min_distance
         self._builder = B2BBuilder(arrays)
         # previous solve's solution per axis — warm start for the next
         # anchored solve (the GP lower bound moves little late in the ramp)
@@ -149,24 +190,42 @@ class QuadraticPlacer:
                     anchors: np.ndarray | None, anchor_w: float | np.ndarray,
                     extra: list[tuple[int, int, float, float]],
                     axis: str) -> np.ndarray:
+        kwargs = {} if self.min_distance is None \
+            else {"min_distance": float(self.min_distance)}
         system = self._builder.build_axis(coords, offsets, anchors=anchors,
                                           anchor_weight=anchor_w,
-                                          extra_pairs=extra)
+                                          extra_pairs=extra, **kwargs)
         warm = self._warm.get(axis)
         if warm is not None and warm.shape == system.cells.shape:
             x0 = warm
             self.tracer.incr("gp.warm_starts")
+        elif self.warm_seed == "direct":
+            # Cold solve: the degenerate first-iteration system (coincident
+            # pins at the centered start) never converges under PCG, so
+            # seed from the exact direct solution — CG sees a converged
+            # residual and returns it unchanged, which keeps small designs
+            # on the direct trajectory whatever the CG budget is.
+            x0 = system.solve_direct()
+            self.tracer.incr("gp.direct_seeds")
         else:
             x0 = coords[system.cells]
+        M = None
+        if self.preconditioner == "ilu":
+            M = system.ilu_preconditioner()
+            if M is not None:
+                self.tracer.incr("gp.ilu_factorizations")
         solve = GuardedSolve(system.solve, stage="global_place",
                              design=self.arrays.netlist.name,
                              guard=self.guard)
-        budget = self._cg_budget[axis]
-        sol = solve(x0=x0, max_iterations=budget)
-        if system.last_cg_iterations >= budget:
-            self._cg_budget[axis] = max(budget // 2, _CG_BUDGET_MIN)
-        else:
-            self._cg_budget[axis] = _CG_BUDGET
+        budget = _CG_BUDGET_ILU if M is not None else self._cg_budget[axis]
+        sol = solve(x0=x0, max_iterations=budget, M=M)
+        if M is None:
+            if system.last_cg_iterations >= budget:
+                self._cg_budget[axis] = max(budget // 2, _CG_BUDGET_MIN)
+            else:
+                self._cg_budget[axis] = _CG_BUDGET
+        elif system.last_cg_iterations >= budget:
+            self.tracer.incr("gp.ilu_stalls")
         self._warm[axis] = np.asarray(sol, dtype=float).copy()
         self.tracer.incr("gp.solves")
         self.tracer.incr("gp.cg_iterations", system.last_cg_iterations)
@@ -268,4 +327,81 @@ class QuadraticPlacer:
 
         # final answer: the last spread (upper-bound) solution — it is the
         # overlap-free one that legalization can realise with small moves
+        return GlobalPlaceResult(x=anchors_x, y=anchors_y, history=history)
+
+    # ------------------------------------------------------------------
+    def refine(self, x0: np.ndarray, y0: np.ndarray, *,
+               iterations: int, start_iteration: int = 0,
+               anchor_iteration: int | None = None) -> GlobalPlaceResult:
+        """Short anchored refinement from warm (already spread) positions.
+
+        Unlike :meth:`place`, this always runs the full ``iterations``
+        budget: the multilevel declusterer hands over positions whose
+        bin overflow is already low (members scatter over cluster
+        footprints), so the main loop's overflow stop would return
+        before a single solve.  Each round linearises *and* anchors the
+        quadratic system at the current spread (upper-bound) positions
+        with a moderate weight, solves both axes, and re-spreads.
+        Linearising at the spread positions — not the collapsed
+        lower-bound solution — keeps pins separated, so the B2B weights
+        stay within a few decades and a preconditioned CG solve
+        converges without the direct fallback; this is what makes
+        refinement rounds cheap at scale.
+
+        Args:
+            x0 / y0: starting positions (interpolated from the coarser
+                level, or the previous refinement's output).
+            iterations: anchored solve+spread rounds to run.
+            start_iteration: numbering offset for history/checkpoint
+                records (the V-cycle's accumulated counter).
+            anchor_iteration: anchor ramp position; round ``i`` uses
+                weight ``anchor_alpha * (anchor_iteration + i)``.
+                Decoupled from ``start_iteration`` so a long coarsest
+                solve does not make refinement anchors needlessly stiff.
+                Defaults to ``start_iteration``.
+        """
+        opts = self.options
+        arrays = self.arrays
+        region = self.region
+        mv = arrays.movable
+        ramp0 = start_iteration if anchor_iteration is None \
+            else anchor_iteration
+        guard = IterateGuard(self.guard, stage="global_place",
+                             design=arrays.netlist.name,
+                             bounds=(region.x, region.y,
+                                     region.x_end, region.y_top),
+                             movable=mv)
+        history: list[IterationStat] = []
+        with self.tracer.phase("gp_refine") as ph:
+            anchors_x, anchors_y = spread_positions(
+                arrays, x0, y0, region,
+                target_utilization=opts.target_utilization,
+                groups=self.groups)
+            x, y = anchors_x, anchors_y
+            for i in range(1, max(int(iterations), 1) + 1):
+                it = start_iteration + i
+                w = opts.anchor_alpha * (ramp0 + i)
+                x = self._solve_axis(anchors_x, arrays.pin_dx, anchors_x,
+                                     w, self.extra_pairs_x, axis="x")
+                y = self._solve_axis(anchors_y, arrays.pin_dy, anchors_y,
+                                     w, self.extra_pairs_y, axis="y")
+                self._clamp(x, y)
+                if self.post_solve is not None:
+                    self.post_solve(x, y)
+                anchors_x, anchors_y = spread_positions(
+                    arrays, x, y, region,
+                    target_utilization=opts.target_utilization,
+                    groups=self.groups)
+                ovf = overflow(arrays, x, y, self.grid)
+                stat = IterationStat(
+                    iteration=it,
+                    hpwl_lower=hpwl(arrays, x, y),
+                    hpwl_upper=hpwl(arrays, anchors_x, anchors_y),
+                    overflow=ovf,
+                    elapsed_s=ph.split())
+                history.append(stat)
+                self.tracer.incr("gp.refine_iterations")
+                guard.check(it, x, y, overflow=ovf, hpwl=stat.hpwl_lower)
+                if self.checkpoint is not None:
+                    self.checkpoint(it, x, y)
         return GlobalPlaceResult(x=anchors_x, y=anchors_y, history=history)

@@ -38,7 +38,10 @@ from ..netlist import Netlist
 from ..robust.faults import fault_fires
 from .telemetry import Tracer
 
-CACHE_SCHEMA = 2
+# Bumped to 3 when multilevel options joined the canonical option dict
+# (a schema-2 artifact's positions could otherwise be served for a job
+# whose V-cycle knobs it never saw).
+CACHE_SCHEMA = 3
 
 
 def _code_version() -> str:
@@ -162,12 +165,20 @@ class ArtifactCache:
             raw = raw[:max(len(raw) // 2, 1)]  # simulated truncation
         try:
             record = json.loads(raw)
+            schema = record.get("schema")
             payload = record["payload"]
             stored = record["digest"]
-        except (json.JSONDecodeError, KeyError, TypeError) as exc:
+        except (json.JSONDecodeError, KeyError, TypeError, AttributeError
+                ) as exc:
             raise CacheCorruptionError(
                 f"unreadable cache entry for key {key[:12]}…: "
                 f"{type(exc).__name__}", key=key) from exc
+        if schema != CACHE_SCHEMA:
+            # stale on-disk format: evict-as-miss, checked before the
+            # digest so a legacy record never gets its payload consumed
+            raise CacheCorruptionError(
+                f"cache entry for key {key[:12]}… has schema "
+                f"{schema!r}, expected {CACHE_SCHEMA}", key=key)
         if not isinstance(payload, dict) \
                 or stored != _artifact_digest(payload):
             raise CacheCorruptionError(
@@ -178,7 +189,8 @@ class ArtifactCache:
     def put(self, key: str, artifact: dict) -> Path:
         path = self.path(key)
         path.parent.mkdir(parents=True, exist_ok=True)
-        record = {"digest": _artifact_digest(artifact),
+        record = {"schema": CACHE_SCHEMA,
+                  "digest": _artifact_digest(artifact),
                   "payload": artifact}
         tmp = path.with_suffix(f".tmp{os.getpid()}")
         tmp.write_text(json.dumps(record, sort_keys=True),

@@ -1,0 +1,159 @@
+"""Multilevel V-cycle: clustering invariants, coarsening, end-to-end."""
+
+import numpy as np
+import pytest
+
+from repro.core import PlacerOptions, StructureAwarePlacer
+from repro.eval import evaluate_placement
+from repro.gen import build_design, datapath_fraction_design
+from repro.place import PlacementArrays
+from repro.place.multilevel import (MultilevelOptions, build_coarse_netlist,
+                                    cluster_cells, interpolate_positions)
+
+
+@pytest.fixture(scope="module")
+def arrays():
+    design = build_design("dp_alu16")
+    return PlacementArrays.build(design.netlist)
+
+
+def _cluster(arrays, *, target=None, atomic_groups=None, area_cap=None):
+    n_mov = int(np.count_nonzero(arrays.movable))
+    if target is None:
+        target = arrays.num_cells - n_mov + max(n_mov // 3, 16)
+    if area_cap is None:
+        area_cap = 6.0 * float(arrays.area[arrays.movable].sum()) \
+            / max(target, 1)
+    return cluster_cells(arrays, target=target, area_cap=area_cap,
+                         atomic_groups=atomic_groups)
+
+
+class TestClusteringInvariants:
+    def test_every_cell_in_exactly_one_cluster(self, arrays):
+        cl = _cluster(arrays)
+        n = arrays.num_cells
+        assert cl.cluster_of.shape == (n,)
+        assert cl.cluster_of.min() == 0
+        assert cl.cluster_of.max() == cl.num_clusters - 1
+        # members lists partition [0, n)
+        flat = sorted(i for ms in cl.members for i in ms)
+        assert flat == list(range(n))
+        for cid, ms in enumerate(cl.members):
+            assert all(cl.cluster_of[i] == cid for i in ms)
+
+    def test_reduction_toward_target(self, arrays):
+        cl = _cluster(arrays)
+        assert cl.num_clusters < arrays.num_cells
+
+    def test_atomic_bundles_never_split(self, arrays):
+        mov = np.flatnonzero(arrays.movable)
+        groups = [list(map(int, mov[:6])), list(map(int, mov[6:14]))]
+        cl = _cluster(arrays, atomic_groups=groups)
+        for group in groups:
+            cids = {int(cl.cluster_of[i]) for i in group}
+            assert len(cids) == 1          # all members share one cluster
+            cid = cids.pop()
+            assert bool(cl.atomic[cid])
+            # the cluster is exactly the bundle, in slice order
+            assert cl.members[cid] == group
+
+    def test_atomic_member_order_is_slice_order(self, arrays):
+        mov = np.flatnonzero(arrays.movable)
+        group = [int(mov[8]), int(mov[2]), int(mov[11]), int(mov[5])]
+        cl = _cluster(arrays, atomic_groups=[group])
+        cid = int(cl.cluster_of[group[0]])
+        assert cl.members[cid] == group    # not re-sorted
+
+    def test_fixed_cells_stay_singletons(self, arrays):
+        cl = _cluster(arrays)
+        for i in np.flatnonzero(~arrays.movable):
+            assert len(cl.members[int(cl.cluster_of[i])]) == 1
+
+    def test_deterministic(self, arrays):
+        a = _cluster(arrays)
+        b = _cluster(arrays)
+        assert np.array_equal(a.cluster_of, b.cluster_of)
+        assert a.members == b.members
+
+
+class TestCoarsening:
+    def test_area_conserved_per_cluster(self, arrays):
+        cl = _cluster(arrays)
+        coarse = build_coarse_netlist(arrays.netlist, cl, name="t_l1")
+        assert coarse.num_cells == cl.num_clusters
+        for cid, ms in enumerate(cl.members):
+            fine_area = sum(arrays.netlist.cells[i].area for i in ms)
+            assert coarse.cells[cid].area == pytest.approx(fine_area,
+                                                           rel=1e-9)
+
+    def test_fixed_flag_survives(self, arrays):
+        cl = _cluster(arrays)
+        coarse = build_coarse_netlist(arrays.netlist, cl, name="t_l1")
+        for i in np.flatnonzero(~arrays.movable):
+            assert coarse.cells[int(cl.cluster_of[i])].fixed
+
+    def test_nets_project_and_dedupe(self, arrays):
+        cl = _cluster(arrays)
+        coarse = build_coarse_netlist(arrays.netlist, cl, name="t_l1")
+        assert 0 < coarse.num_nets <= arrays.netlist.num_nets
+        # total projected weight is conserved for surviving nets
+        for net in coarse.nets:
+            assert net.degree >= 2
+
+    def test_decluster_round_trip_preserves_centroids(self, arrays):
+        cl = _cluster(arrays)
+        rng = np.random.default_rng(11)
+        cx = rng.uniform(0.0, 500.0, cl.num_clusters)
+        cy = rng.uniform(0.0, 300.0, cl.num_clusters)
+        x, y = interpolate_positions(cl, arrays.width, arrays.height,
+                                     arrays.area, cx, cy)
+        for cid, ms in enumerate(cl.members):
+            idx = np.asarray(ms)
+            w = arrays.area[idx]
+            assert np.average(x[idx], weights=w) == pytest.approx(
+                cx[cid], abs=1e-6)
+            assert np.average(y[idx], weights=w) == pytest.approx(
+                cy[cid], abs=1e-6)
+
+    def test_atomic_members_laid_out_in_order(self, arrays):
+        mov = np.flatnonzero(arrays.movable)
+        group = list(map(int, mov[:5]))
+        cl = _cluster(arrays, atomic_groups=[group])
+        cid = int(cl.cluster_of[group[0]])
+        cx = np.zeros(cl.num_clusters)
+        cy = np.zeros(cl.num_clusters)
+        x, _y = interpolate_positions(cl, arrays.width, arrays.height,
+                                      arrays.area, cx, cy)
+        xs = [x[i] for i in cl.members[cid]]
+        assert xs == sorted(xs)            # left-to-right in slice order
+
+
+class TestEndToEnd:
+    def _run(self, n=800):
+        gd = datapath_fraction_design(f"f4_{n}", n, 0.55, seed=9)
+        opts = PlacerOptions(seed=0)
+        opts.multilevel = MultilevelOptions(enabled=True)
+        StructureAwarePlacer(opts).place(gd.netlist, gd.region)
+        return gd
+
+    def test_multilevel_end_to_end_legal(self):
+        gd = self._run()
+        report = evaluate_placement(gd.netlist, gd.region)
+        assert report.legal
+        assert report.hpwl > 0
+
+    def test_multilevel_quality_near_flat(self):
+        gd_ml = self._run()
+        gd_flat = datapath_fraction_design("f4_800", 800, 0.55, seed=9)
+        StructureAwarePlacer(PlacerOptions(seed=0)).place(
+            gd_flat.netlist, gd_flat.region)
+        h_ml = evaluate_placement(gd_ml.netlist, gd_ml.region).hpwl
+        h_flat = evaluate_placement(gd_flat.netlist, gd_flat.region).hpwl
+        assert h_ml <= 1.02 * h_flat
+
+    def test_multilevel_bit_stable(self):
+        a = self._run()
+        b = self._run()
+        pa = {c.name: (c.x, c.y) for c in a.netlist.movable_cells()}
+        pb = {c.name: (c.x, c.y) for c in b.netlist.movable_cells()}
+        assert pa == pb

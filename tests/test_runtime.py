@@ -89,6 +89,37 @@ class TestCacheKeys:
         assert ("ab" * 32) in cache
         assert cache.clear() == 1
 
+    def test_stale_schema_evicted_as_miss(self, tmp_path):
+        import json
+
+        from repro.runtime.cache import CACHE_SCHEMA, _artifact_digest
+
+        cache = ArtifactCache(tmp_path)
+        key = "cd" * 32
+        cache.put(key, {"x": 2.5})
+        # rewrite the record as a previous-schema artifact: intact
+        # digest, wrong (or absent, pre-3) schema marker
+        path = cache.path(key)
+        record = json.loads(path.read_text())
+        assert record["schema"] == CACHE_SCHEMA
+        del record["schema"]
+        path.write_text(json.dumps(record))
+        tracer = Tracer()
+        assert cache.get(key, tracer=tracer) is None
+        assert tracer.count("cache.corrupt") == 1
+        assert key not in cache  # evicted, not just skipped
+        # numeric-but-wrong schema is equally stale
+        cache.put(key, {"x": 2.5})
+        record = json.loads(path.read_text())
+        record["schema"] = CACHE_SCHEMA - 1
+        path.write_text(json.dumps(record))
+        assert cache.get(key) is None
+        # digest-valid current-schema record still round-trips
+        cache.put(key, {"y": [1.0, 2.0]})
+        assert _artifact_digest({"y": [1.0, 2.0]}) == \
+            json.loads(path.read_text())["digest"]
+        assert cache.get(key) == {"y": [1.0, 2.0]}
+
 
 # ----------------------------------------------------------------------
 # job execution and caching
