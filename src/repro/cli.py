@@ -8,6 +8,7 @@ Subcommands::
     repro-place run      --suite dac2012 --workers 4      # batch runtime
     repro-place eval     --aux design.aux                 # evaluate a bundle
     repro-place suite                                     # list suite designs
+    repro-place lint     [--json] [PATHS...]              # static contracts
 
 Designs come from the named benchmark suites (see
 :mod:`repro.gen.suites`); ``--aux`` accepts any Bookshelf bundle.
@@ -22,6 +23,13 @@ Exit codes follow the failure taxonomy (see README / DESIGN.md):
 corruption.  ``--strict`` promotes netlist validation warnings to
 errors; ``--no-fallback`` disables the degradation ladder so the first
 engine failure is terminal (and exits with its taxonomy code).
+
+``lint`` runs the contract-enforcing static analysis
+(:mod:`repro.lint`) over ``src/repro`` — determinism, numerical-safety,
+error-taxonomy, and telemetry rules — and exits 1 on any non-baselined
+finding.  All its flags (``--json``, ``--rules``, ``--explain RULE``,
+``--baseline``, ``--update-baseline``, ``--select``, ``--ignore``) pass
+through unchanged; ``python -m repro.lint`` is the same tool.
 """
 
 from __future__ import annotations
@@ -229,6 +237,12 @@ def _cmd_eval(args: argparse.Namespace) -> int:
 
 
 def main(argv: list[str] | None = None) -> int:
+    argv = list(sys.argv[1:]) if argv is None else list(argv)
+    if argv[:1] == ["lint"]:
+        # full passthrough: argparse.REMAINDER cannot forward leading
+        # option tokens, so lint's own parser handles everything
+        from .lint import main as lint_main
+        return lint_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="repro-place",
         description="Structure-aware placement reproduction toolkit")
@@ -317,6 +331,12 @@ def main(argv: list[str] | None = None) -> int:
 
     p_eval = sub.add_parser("eval", help="evaluate current placement")
     add_design_args(p_eval)
+
+    # `lint` is dispatched before parse_args (its flags pass through to
+    # repro.lint verbatim); registered here so it shows up in --help.
+    sub.add_parser(
+        "lint", add_help=False,
+        help="run the contract-enforcing static analysis (repro.lint)")
 
     args = parser.parse_args(argv)
     handlers = {

@@ -43,7 +43,7 @@ class AlignmentForces:
     def count(self) -> int:
         return len(self.pairs_x) + len(self.pairs_y)
 
-    def as_arrays(self):
+    def as_arrays(self) -> tuple[np.ndarray, np.ndarray]:
         """Both axes as flat ``(K, 4)`` float arrays ``(x_pairs, y_pairs)``
         for the vectorized assembly/objective kernels; cached — callers
         that mutate the pair lists must go through :meth:`extend` (or

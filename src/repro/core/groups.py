@@ -18,9 +18,16 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass, field
 
+from typing import TYPE_CHECKING, Callable
+
 from ..netlist import Cell
 from ..place.region import PlacementRegion
 from .arrays import ExtractedArray
+
+if TYPE_CHECKING:
+    import numpy as np
+
+    from ..place.arrays import PlacementArrays
 
 
 @dataclass
@@ -154,8 +161,9 @@ def plan_arrays(arrays: list[ExtractedArray], region: PlacementRegion,
     return plans
 
 
-def make_reprojector(plans: list[ArrayPlan], arrays,
-                     region: PlacementRegion):
+def make_reprojector(plans: list[ArrayPlan], arrays: PlacementArrays,
+                     region: PlacementRegion
+                     ) -> Callable[[np.ndarray, np.ndarray], None]:
     """Build the post-solve hook that keeps fused arrays in formation.
 
     Returns a callable ``reproject(x, y)`` that, for each plan, estimates

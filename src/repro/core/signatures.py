@@ -20,6 +20,7 @@ import zlib
 from collections import defaultdict
 
 from ..netlist import Netlist
+from ..errors import OptionsError
 
 
 def _stable_hash(value: object) -> int:
@@ -47,7 +48,7 @@ def structural_signatures(netlist: Netlist, rounds: int = 2, *,
         A list of signature ints indexed by cell index.
     """
     if rounds < 0:
-        raise ValueError("rounds must be non-negative")
+        raise OptionsError("rounds must be non-negative")
     labels = [_stable_hash(("t", cell.cell_type.name))
               for cell in netlist.cells]
 

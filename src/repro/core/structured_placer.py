@@ -22,8 +22,9 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from ..errors import LegalizationError
+from ..errors import LegalizationError, OptionsError
 from ..netlist import Netlist
+from ..robust.checkpoint import Checkpoint, CheckpointHook
 from ..robust.guards import GuardOptions
 from ..runtime.telemetry import Tracer
 from ..place.abacus import abacus_legalize
@@ -439,7 +440,7 @@ def _run_engine(arrays: PlacementArrays, region: PlacementRegion,
                                  hpwl_upper=h, overflow=o, elapsed_s=0.0)
                    for i, (h, o) in enumerate(result.history)]
         return result.x, result.y, history
-    raise ValueError(f"unknown engine {options.engine!r}")
+    raise OptionsError(f"unknown engine {options.engine!r}")
 
 
 class StructureAwarePlacer:
@@ -451,12 +452,13 @@ class StructureAwarePlacer:
 
     name = "structure-aware"
 
-    def __init__(self, options: PlacerOptions | None = None):
+    def __init__(self, options: PlacerOptions | None = None) -> None:
         self.options = options or PlacerOptions()
 
     def place(self, netlist: Netlist, region: PlacementRegion, *,
-              tracer: Tracer | None = None, checkpoint=None,
-              resume=None) -> PlaceOutcome:
+              tracer: Tracer | None = None,
+              checkpoint: CheckpointHook | None = None,
+              resume: Checkpoint | None = None) -> PlaceOutcome:
         """Place the netlist in-place and return the outcome record.
 
         Args:
@@ -525,7 +527,7 @@ class StructureAwarePlacer:
                     elif opts.structure_legalization == "slices":
                         obstacles = legalize_slices(netlist, region, plans)
                     else:
-                        raise ValueError(
+                        raise OptionsError(
                             "structure_legalization must be 'slices',"
                             " 'blocks', or 'none'")
                     frozen = {c.name for c in obstacles}
@@ -580,7 +582,7 @@ class BaselinePlacer:
 
     name = "baseline"
 
-    def __init__(self, options: PlacerOptions | None = None):
+    def __init__(self, options: PlacerOptions | None = None) -> None:
         base = options or PlacerOptions()
         self.options = PlacerOptions(
             engine=base.engine,
@@ -598,8 +600,9 @@ class BaselinePlacer:
         )
 
     def place(self, netlist: Netlist, region: PlacementRegion, *,
-              tracer: Tracer | None = None, checkpoint=None,
-              resume=None) -> PlaceOutcome:
+              tracer: Tracer | None = None,
+              checkpoint: CheckpointHook | None = None,
+              resume: Checkpoint | None = None) -> PlaceOutcome:
         opts = self.options
         tracer = tracer or Tracer()
         with tracer.phase("place", placer=self.name,

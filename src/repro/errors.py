@@ -16,6 +16,7 @@ class                 code        exit code
 ReproError            error       1
 ParseError            parse       3
 ValidationError       validation  4
+OptionsError          options     1
 NumericalError        numerical   5
 LegalizationError     legalization 6
 (job timeout)         timeout     7
@@ -55,7 +56,7 @@ class ReproError(Exception):
     exit_code = EXIT_FAILURE
 
     def __init__(self, message: str, *, stage: str | None = None,
-                 design: str | None = None, **payload: Any):
+                 design: str | None = None, **payload: Any) -> None:
         super().__init__(message)
         self.message = message
         self.stage = stage
@@ -93,7 +94,7 @@ class ParseError(ReproError, ValueError):
     exit_code = 3
 
     def __init__(self, message: str, *, path: str | None = None,
-                 line: int | None = None, **kwargs: Any):
+                 line: int | None = None, **kwargs: Any) -> None:
         super().__init__(message, stage=kwargs.pop("stage", "parse"),
                          **kwargs)
         self.path = path
@@ -123,12 +124,33 @@ class ValidationError(ReproError, ValueError):
     exit_code = 4
 
     def __init__(self, message: str, *,
-                 violations: list[str] | None = None, **kwargs: Any):
+                 violations: list[str] | None = None, **kwargs: Any) -> None:
         super().__init__(message, stage=kwargs.pop("stage", "validate"),
                          **kwargs)
         self.violations = violations or []
         if violations:
             self.payload["violations"] = list(violations)
+
+
+class OptionsError(ReproError, ValueError):
+    """A pipeline API was called with invalid options or arguments.
+
+    This is the taxonomy home for caller bugs (bad knob values, unknown
+    design/placer names, malformed generator parameters) as opposed to
+    data-dependent pipeline failures.  Also a :class:`ValueError` so
+    callers (and tests) using the builtin contract keep working.
+    """
+
+    code = "options"
+    exit_code = EXIT_FAILURE
+
+    def __init__(self, message: str, *, option: str | None = None,
+                 **kwargs: Any) -> None:
+        super().__init__(message, stage=kwargs.pop("stage", "options"),
+                         **kwargs)
+        self.option = option
+        if option is not None:
+            self.payload["option"] = option
 
 
 class NumericalError(ReproError):
@@ -144,7 +166,7 @@ class NumericalError(ReproError):
 
     def __init__(self, message: str, *, reason: str | None = None,
                  iteration: int | None = None,
-                 history: list[dict] | None = None, **kwargs: Any):
+                 history: list[dict] | None = None, **kwargs: Any) -> None:
         super().__init__(message, **kwargs)
         self.reason = reason
         self.iteration = iteration
@@ -167,7 +189,7 @@ class LegalizationError(ReproError):
     exit_code = 6
 
     def __init__(self, message: str, *, cells: list[str] | None = None,
-                 **kwargs: Any):
+                 **kwargs: Any) -> None:
         super().__init__(message, stage=kwargs.pop("stage", "legalize"),
                          **kwargs)
         self.cells = cells or []
@@ -182,7 +204,7 @@ class CacheCorruptionError(ReproError):
     exit_code = 8
 
     def __init__(self, message: str, *, key: str | None = None,
-                 **kwargs: Any):
+                 **kwargs: Any) -> None:
         super().__init__(message, stage=kwargs.pop("stage", "cache"),
                          **kwargs)
         self.key = key
@@ -199,6 +221,7 @@ EXIT_CODES: dict[str, int] = {
     "other": EXIT_FAILURE,
     ParseError.code: ParseError.exit_code,
     ValidationError.code: ValidationError.exit_code,
+    OptionsError.code: OptionsError.exit_code,
     NumericalError.code: NumericalError.exit_code,
     LegalizationError.code: LegalizationError.exit_code,
     "timeout": 7,

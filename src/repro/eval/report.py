@@ -19,11 +19,20 @@ def format_table(rows: Sequence[Mapping[str, object]],
     Args:
         rows: flat record dicts; missing keys render blank.
         title: optional heading line.
-        columns: column order; defaults to first row's key order.
+        columns: column order; defaults to the union of every row's
+            keys in first-seen order, so a column present only on later
+            rows (e.g. the degradation ``rung``) still renders.
     """
     if not rows:
         return (title + "\n" if title else "") + "(no rows)"
-    cols = list(columns) if columns else list(rows[0].keys())
+    if columns:
+        cols = list(columns)
+    else:
+        cols = []
+        for row in rows:
+            for key in row:
+                if key not in cols:
+                    cols.append(key)
     cells = [[_fmt(r.get(c, "")) for c in cols] for r in rows]
     widths = [max(len(c), *(len(row[i]) for row in cells))
               for i, c in enumerate(cols)]

@@ -23,6 +23,7 @@ from ..place.region import PlacementRegion, region_for
 from .random_logic import generate_random_logic
 from .rng import make_rng
 from .units import UNIT_BUILDERS, ArrayTruth, Unit, UnitContext
+from ..errors import OptionsError
 
 
 @dataclass(frozen=True)
@@ -43,7 +44,7 @@ class UnitSpec:
         try:
             builder = UNIT_BUILDERS[self.kind]
         except KeyError:
-            raise ValueError(f"unknown unit kind {self.kind!r}; known: "
+            raise OptionsError(f"unknown unit kind {self.kind!r}; known: "
                              f"{sorted(UNIT_BUILDERS)}") from None
         return builder(ctx, self.width, **dict(self.params))
 
@@ -266,7 +267,7 @@ def datapath_fraction_design(name: str, total_cells: int, fraction: float,
         unit_width: bit width per unit.
     """
     if not 0.0 <= fraction <= 1.0:
-        raise ValueError("fraction must be within [0, 1]")
+        raise OptionsError("fraction must be within [0, 1]")
     dp_budget = int(total_cells * fraction)
     units: list[UnitSpec] = []
     if dp_budget > 0:

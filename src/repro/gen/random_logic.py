@@ -26,6 +26,7 @@ import numpy as np
 
 from ..netlist import Cell, Net, Netlist
 from .rng import choose, make_rng, weighted_choice
+from ..errors import OptionsError
 
 # (master, relative frequency) for glue gates — roughly inverter-rich,
 # matching standard-cell usage statistics.
@@ -86,7 +87,7 @@ def generate_random_logic(netlist: Netlist, n: int, *, prefix: str = "glue",
         The glue block with its open interface nets.
     """
     if n < 0:
-        raise ValueError("n must be non-negative")
+        raise OptionsError("n must be non-negative")
     rng = make_rng(seed)
     block = GlueBlock()
     if n == 0:

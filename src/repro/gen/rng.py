@@ -10,6 +10,7 @@ from __future__ import annotations
 from typing import Sequence, TypeVar
 
 import numpy as np
+from ..errors import OptionsError
 
 T = TypeVar("T")
 
@@ -24,7 +25,7 @@ def make_rng(seed: int | np.random.Generator | None) -> np.random.Generator:
 def choose(rng: np.random.Generator, items: Sequence[T]) -> T:
     """Pick one element of a (non-empty) sequence uniformly."""
     if not items:
-        raise ValueError("cannot choose from an empty sequence")
+        raise OptionsError("cannot choose from an empty sequence")
     return items[int(rng.integers(len(items)))]
 
 
@@ -32,10 +33,10 @@ def weighted_choice(rng: np.random.Generator, items: Sequence[T],
                     weights: Sequence[float]) -> T:
     """Pick one element with the given (unnormalised) weights."""
     if len(items) != len(weights):
-        raise ValueError("items and weights must have equal length")
+        raise OptionsError("items and weights must have equal length")
     w = np.asarray(weights, dtype=float)
     if w.sum() <= 0:
-        raise ValueError("weights must sum to a positive value")
+        raise OptionsError("weights must sum to a positive value")
     idx = int(rng.choice(len(items), p=w / w.sum()))
     return items[idx]
 
@@ -44,5 +45,5 @@ def sample_without_replacement(rng: np.random.Generator, n: int,
                                k: int) -> list[int]:
     """k distinct integers from range(n)."""
     if k > n:
-        raise ValueError(f"cannot sample {k} items from {n}")
+        raise OptionsError(f"cannot sample {k} items from {n}")
     return [int(i) for i in rng.choice(n, size=k, replace=False)]

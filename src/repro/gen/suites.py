@@ -15,6 +15,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from .composer import GeneratedDesign, UnitSpec, compose_design
+from ..errors import OptionsError
 
 
 @dataclass(frozen=True)
@@ -80,7 +81,7 @@ def suite(name: str = "dac2012") -> list[DesignSpec]:
     try:
         return list(_SUITES[name])
     except KeyError:
-        raise ValueError(
+        raise OptionsError(
             f"unknown suite {name!r}; known: {suite_names()}") from None
 
 
@@ -94,4 +95,4 @@ def build_design(name: str) -> GeneratedDesign:
         for spec in specs:
             if spec.name == name:
                 return spec.build()
-    raise ValueError(f"unknown design {name!r}")
+    raise OptionsError(f"unknown design {name!r}")

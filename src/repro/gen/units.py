@@ -29,6 +29,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from ..netlist import Cell, Net, Netlist
+from ..errors import OptionsError
 
 
 @dataclass
@@ -102,7 +103,7 @@ class UnitContext:
             omitted.
     """
 
-    def __init__(self, netlist: Netlist, prefix: str, clock: Net | None = None):
+    def __init__(self, netlist: Netlist, prefix: str, clock: Net | None = None) -> None:
         self.netlist = netlist
         self.prefix = prefix
         if clock is None:
@@ -154,7 +155,7 @@ def ripple_adder(ctx: UnitContext, width: int, registered: bool = True) -> Unit:
             single-stage, a harder extraction case).
     """
     if width < 2:
-        raise ValueError("ripple_adder needs width >= 2")
+        raise OptionsError("ripple_adder needs width >= 2")
     truth = ArrayTruth(name=ctx.prefix, kind="ripple_adder")
     unit = Unit(truth=truth)
     carry: Net | None = None
@@ -220,7 +221,7 @@ def array_multiplier(ctx: UnitContext, width: int) -> Unit:
     widths produce large regular blocks.
     """
     if width < 2:
-        raise ValueError("array_multiplier needs width >= 2")
+        raise OptionsError("array_multiplier needs width >= 2")
     truth = ArrayTruth(name=ctx.prefix, kind="array_multiplier")
     unit = Unit(truth=truth)
     a_bits = [ctx.net(f"a{i}", bus="a", bit=i) for i in range(width)]
@@ -284,7 +285,7 @@ def barrel_shifter(ctx: UnitContext, width: int) -> Unit:
     internally for stage count purposes but only ``width`` slices are made.
     """
     if width < 2:
-        raise ValueError("barrel_shifter needs width >= 2")
+        raise OptionsError("barrel_shifter needs width >= 2")
     stages = max(1, (width - 1).bit_length())
     truth = ArrayTruth(name=ctx.prefix, kind="barrel_shifter")
     unit = Unit(truth=truth)
@@ -320,7 +321,7 @@ def alu(ctx: UnitContext, width: int) -> Unit:
     carry chain give both of the extractor's structural cues.
     """
     if width < 2:
-        raise ValueError("alu needs width >= 2")
+        raise OptionsError("alu needs width >= 2")
     truth = ArrayTruth(name=ctx.prefix, kind="alu")
     unit = Unit(truth=truth)
     op0 = ctx.net("op0", bus="op", bit=0, control=True)
@@ -384,9 +385,9 @@ def register_file(ctx: UnitContext, width: int, depth: int = 4) -> Unit:
     ``depth`` must be a power of two >= 2 so the mux tree is complete.
     """
     if width < 2:
-        raise ValueError("register_file needs width >= 2")
+        raise OptionsError("register_file needs width >= 2")
     if depth < 2 or depth & (depth - 1):
-        raise ValueError("register_file depth must be a power of two >= 2")
+        raise OptionsError("register_file depth must be a power of two >= 2")
     truth = ArrayTruth(name=ctx.prefix, kind="register_file")
     unit = Unit(truth=truth)
     wen = [ctx.net(f"we{w}", bus="we", bit=w, control=True)
@@ -439,7 +440,7 @@ def pipeline_unit(ctx: UnitContext, width: int, depth: int = 3,
     texture" for scalability sweeps since width and depth scale freely.
     """
     if width < 2 or depth < 1:
-        raise ValueError("pipeline_unit needs width >= 2 and depth >= 1")
+        raise OptionsError("pipeline_unit needs width >= 2 and depth >= 1")
     truth = ArrayTruth(name=ctx.prefix, kind="pipeline")
     unit = Unit(truth=truth)
     coeffs = [[ctx.net(f"k{s}_{b}", bus=f"k{s}", bit=b) for b in range(width)]
@@ -481,7 +482,7 @@ def comparator(ctx: UnitContext, width: int) -> Unit:
     dp labels (they are not part of the regular array).
     """
     if width < 2:
-        raise ValueError("comparator needs width >= 2")
+        raise OptionsError("comparator needs width >= 2")
     truth = ArrayTruth(name=ctx.prefix, kind="comparator")
     unit = Unit(truth=truth)
     level: list[Net] = []
@@ -526,9 +527,9 @@ def carry_select_adder(ctx: UnitContext, width: int,
     than the ripple design.
     """
     if width < 2:
-        raise ValueError("carry_select_adder needs width >= 2")
+        raise OptionsError("carry_select_adder needs width >= 2")
     if block < 1:
-        raise ValueError("block must be >= 1")
+        raise OptionsError("block must be >= 1")
     truth = ArrayTruth(name=ctx.prefix, kind="carry_select_adder")
     unit = Unit(truth=truth)
     block_carry: Net | None = None
@@ -599,7 +600,7 @@ def mac_unit(ctx: UnitContext, width: int) -> Unit:
     units, here inside one).
     """
     if width < 2:
-        raise ValueError("mac_unit needs width >= 2")
+        raise OptionsError("mac_unit needs width >= 2")
     mul_ctx = UnitContext(ctx.netlist, prefix=f"{ctx.prefix}.mul",
                           clock=ctx.clock)
     mul = array_multiplier(mul_ctx, width)

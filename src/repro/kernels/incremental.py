@@ -42,7 +42,12 @@ degree >= 2 and (by default) weight != 0 — the same filter the legacy
 
 from __future__ import annotations
 
+from typing import TYPE_CHECKING, Iterable, Sequence
+
 import numpy as np
+
+if TYPE_CHECKING:
+    from ..netlist import Netlist
 
 # nets up to this degree are rescanned directly on every touch; the
 # O(moved pins) bound update only pays past the bookkeeping cost
@@ -57,7 +62,8 @@ class IncrementalHPWL:
         skip_zero_weight: drop weight-0 nets (the clock convention).
     """
 
-    def __init__(self, netlist, *, skip_zero_weight: bool = True):
+    def __init__(self, netlist: Netlist, *,
+                 skip_zero_weight: bool = True) -> None:
         self.netlist = netlist
         pin_cell: list[int] = []
         pin_ox: list[float] = []
@@ -184,7 +190,7 @@ class IncrementalHPWL:
         return self.net_weight * spans
 
     # ------------------------------------------------------------------
-    def nets_of_cells(self, cells) -> list[int]:
+    def nets_of_cells(self, cells: Sequence[int]) -> list[int]:
         """Distinct tracked-net ids incident to the given cells."""
         cell_nets = self._cell_nets
         if len(cells) == 1:
@@ -198,17 +204,18 @@ class IncrementalHPWL:
                     out.append(j)
         return out
 
-    def cost_of_nets(self, nets) -> float:
+    def cost_of_nets(self, nets: Iterable[int]) -> float:
         """Cached weighted cost of the given nets."""
         net_cost = self._net_cost
         return sum(net_cost[j] for j in nets)
 
-    def incident_cost(self, cells) -> float:
+    def incident_cost(self, cells: Sequence[int]) -> float:
         """Cached weighted cost of every net incident to ``cells``."""
         return self.cost_of_nets(self.nets_of_cells(cells))
 
     # ------------------------------------------------------------------
-    def propose(self, cells, xs, ys) -> tuple[float, float]:
+    def propose(self, cells: Sequence[int], xs: Sequence[float],
+                ys: Sequence[float]) -> tuple[float, float]:
         """Move cells and rescore their nets; leaves the move pending.
 
         Args:
@@ -417,7 +424,8 @@ class IncrementalHPWL:
             y[c] = yv
         self._pending = None
 
-    def update_cells(self, cells, xs, ys) -> float:
+    def update_cells(self, cells: Sequence[int], xs: Sequence[float],
+                     ys: Sequence[float]) -> float:
         """Move cells and immediately commit; returns the new touched-net
         cost (compare against :meth:`incident_cost` taken before)."""
         _before, after = self.propose(cells, xs, ys)

@@ -14,7 +14,12 @@ Nothing in the production paths imports from this module.
 
 from __future__ import annotations
 
+from typing import TYPE_CHECKING, Iterable
+
 import numpy as np
+
+if TYPE_CHECKING:
+    from ..netlist import Cell, Netlist
 
 
 def hpwl_reference(px: np.ndarray, py: np.ndarray, starts: np.ndarray,
@@ -168,7 +173,8 @@ def b2b_pairs_reference(pin_pos: np.ndarray, net_start: np.ndarray,
     return pairs
 
 
-def incident_cost_reference(netlist, cells) -> float:
+def incident_cost_reference(netlist: Netlist,
+                            cells: Iterable[Cell]) -> float:
     """The original object-model incident-HPWL walk (``_cells_hpwl``)."""
     seen: set[int] = set()
     total = 0.0

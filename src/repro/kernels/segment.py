@@ -11,6 +11,7 @@ nets never reach these kernels because the array builders drop them).
 from __future__ import annotations
 
 import numpy as np
+from ..errors import OptionsError
 
 
 def segment_reduce(values: np.ndarray, starts: np.ndarray,
@@ -31,7 +32,7 @@ def segment_reduce(values: np.ndarray, starts: np.ndarray,
         return np.minimum.reduceat(values, starts[:-1])
     if op == "sum":
         return np.add.reduceat(values, starts[:-1])
-    raise ValueError(f"unknown op {op!r}")
+    raise OptionsError(f"unknown op {op!r}")
 
 
 def expand_pin_net(net_start: np.ndarray) -> np.ndarray:

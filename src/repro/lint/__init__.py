@@ -1,0 +1,38 @@
+"""Contract-enforcing static analysis for the placement pipeline.
+
+The repo's correctness story rests on conventions that ordinary linters
+cannot see: bit-identical serial/parallel reruns (no hidden entropy, no
+unordered iteration reaching placement output), every solver call routed
+through the numerical guards, every diagnosed failure raised as a
+:class:`~repro.errors.ReproError` subclass that survives pickling across
+the process pool, and all timing taken from :class:`Tracer` clocks.
+``repro.lint`` turns those conventions into machine-checked invariants:
+an AST pass over ``src/repro`` with a rule registry, inline
+``# repro-lint: disable=RULE`` suppressions, a checked-in baseline file
+(CI gates at zero *non-baselined* findings), and machine-readable JSON
+output.
+
+Run it as ``python -m repro.lint`` or ``repro-place lint``; see
+``--rules`` / ``--explain RULE`` for the per-rule documentation, and
+DESIGN.md §10 for the contract behind each rule family.
+"""
+
+from __future__ import annotations
+
+from .core import Baseline, FileContext, Finding, ProjectContext
+from .registry import Rule, all_rules, get_rule, register
+from .runner import LintResult, lint_paths, main
+
+__all__ = [
+    "Baseline",
+    "FileContext",
+    "Finding",
+    "LintResult",
+    "ProjectContext",
+    "Rule",
+    "all_rules",
+    "get_rule",
+    "lint_paths",
+    "main",
+    "register",
+]

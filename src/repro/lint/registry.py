@@ -1,0 +1,65 @@
+"""Rule registry: every rule declares its id, contract, and fix.
+
+A rule is a class with a unique ``id`` (``<FAMILY><NN>``, e.g. ``DET01``),
+a one-line ``summary``, the ``invariant`` it enforces (the repo contract,
+cited in DESIGN.md §10), and a ``fix`` hint.  ``check`` receives a
+:class:`~repro.lint.core.FileContext` and yields findings.  Registration
+is by decorator so importing :mod:`repro.lint.rules` populates the
+registry deterministically.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Type
+
+from .core import FileContext, Finding
+
+_REGISTRY: dict[str, "Rule"] = {}
+
+
+class Rule:
+    """Base class for lint rules.
+
+    Attributes:
+        id: stable identifier used in findings, suppressions, baselines.
+        summary: one-line description for ``--rules``.
+        invariant: the repo contract the rule machine-checks.
+        fix: how a violation should be repaired (or sanctioned).
+    """
+
+    id: str = ""
+    summary: str = ""
+    invariant: str = ""
+    fix: str = ""
+
+    def check(self, ctx: FileContext) -> Iterable[Finding]:
+        raise NotImplementedError
+
+    def doc(self) -> str:
+        """Full per-rule documentation (backs ``--explain``)."""
+        return (f"{self.id}: {self.summary}\n\n"
+                f"Invariant: {self.invariant}\n\n"
+                f"Fix: {self.fix}")
+
+
+def register(cls: Type[Rule]) -> Type[Rule]:
+    """Class decorator adding one instance of ``cls`` to the registry."""
+    from ..errors import OptionsError
+    if not cls.id:
+        raise OptionsError(f"rule {cls.__name__} has no id")
+    if cls.id in _REGISTRY:
+        raise OptionsError(f"duplicate rule id {cls.id}")
+    _REGISTRY[cls.id] = cls()
+    return cls
+
+
+def all_rules() -> Iterator[Rule]:
+    """Registered rules in id order (deterministic output ordering)."""
+    from . import rules  # noqa: F401  (populates the registry)
+    for rule_id in sorted(_REGISTRY):
+        yield _REGISTRY[rule_id]
+
+
+def get_rule(rule_id: str) -> Rule | None:
+    from . import rules  # noqa: F401
+    return _REGISTRY.get(rule_id)

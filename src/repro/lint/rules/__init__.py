@@ -1,0 +1,19 @@
+"""Rule modules; importing this package populates the registry.
+
+Families (see DESIGN.md §10 for the contracts behind them):
+
+- ``DET`` — determinism: no hidden entropy, no unordered iteration, no
+  ad-hoc clocks, no address-dependent ordering.
+- ``NUM`` — numerical safety: guarded solves, no float equality outside
+  the sentinel whitelist, no over-broad exception handlers.
+- ``ERR`` — error taxonomy: diagnosed failures raise ``ReproError``
+  subclasses, and every subclass survives pickling across the pool.
+- ``TEL`` — telemetry hygiene: spans open only via the context manager.
+- ``TYP`` — strict typing: public APIs are fully annotated.
+"""
+
+from __future__ import annotations
+
+from . import determinism, numerics, taxonomy, telemetry, typing_api
+
+__all__ = ["determinism", "numerics", "taxonomy", "telemetry", "typing_api"]

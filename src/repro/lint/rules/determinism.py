@@ -1,0 +1,198 @@
+"""Determinism rules (DET family).
+
+The batch runtime's core guarantee — serial and parallel reruns of the
+same job are bit-identical, and cache round-trips reproduce the original
+artifact — only holds while no code path consumes hidden entropy
+(unseeded RNGs), iterates hash-ordered containers into placement output,
+reads wall clocks outside the telemetry layer, or sorts by object
+address.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, Iterator
+
+from ..core import FileContext, Finding
+from ..registry import Rule, register
+
+#: numpy.random entry points that are deterministic once seeded; calling
+#: them with an explicit seed argument is sanctioned.
+_SEEDABLE_NP = {
+    "numpy.random.default_rng",
+    "numpy.random.Generator",
+    "numpy.random.SeedSequence",
+    "numpy.random.PCG64",
+    "numpy.random.Philox",
+    "numpy.random.MT19937",
+    "numpy.random.RandomState",
+}
+
+#: clock callables that bypass the Tracer clock contract.
+_CLOCKS = {
+    "time.time",
+    "time.time_ns",
+    "time.perf_counter",
+    "time.perf_counter_ns",
+    "time.monotonic",
+    "time.monotonic_ns",
+    "time.process_time",
+    "time.process_time_ns",
+    "datetime.datetime.now",
+    "datetime.datetime.utcnow",
+}
+
+#: files allowed to own a raw clock (the single Tracer clock source).
+_CLOCK_HOME = {"repro/runtime/telemetry.py"}
+
+
+def _set_typed(node: ast.AST, ctx: FileContext) -> bool:
+    """True when ``node`` statically evaluates to a set."""
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call):
+        dotted = ctx.dotted(node.func)
+        if dotted in ("set", "frozenset"):
+            return True
+        if isinstance(node.func, ast.Attribute) and node.func.attr in (
+                "intersection", "union", "difference",
+                "symmetric_difference"):
+            return True
+    if isinstance(node, ast.BinOp) and isinstance(
+            node.op, (ast.BitAnd, ast.BitOr, ast.Sub, ast.BitXor)):
+        return _set_typed(node.left, ctx) or _set_typed(node.right, ctx)
+    return False
+
+
+def _iteration_sites(ctx: FileContext) -> Iterator[ast.AST]:
+    for node in ctx.walk():
+        if isinstance(node, (ast.For, ast.AsyncFor)):
+            yield node.iter
+        elif isinstance(node, (ast.ListComp, ast.SetComp, ast.DictComp,
+                               ast.GeneratorExp)):
+            for comp in node.generators:
+                yield comp.iter
+
+
+@register
+class UnseededRng(Rule):
+    id = "DET01"
+    summary = "unseeded or global-state RNG construction/use"
+    invariant = ("Identical (design, options, seed) inputs produce "
+                 "bit-identical placements; every random stream derives "
+                 "from an explicit seed (repro.gen.rng.make_rng).")
+    fix = ("Construct generators with an explicit seed "
+           "(np.random.default_rng(seed), random.Random(seed)) and pass "
+           "them down; never call the module-level random/np.random "
+           "global-state functions.")
+
+    def check(self, ctx: FileContext) -> Iterable[Finding]:
+        for node in ctx.walk():
+            if not isinstance(node, ast.Call):
+                continue
+            dotted = ctx.dotted(node.func)
+            if dotted is None:
+                continue
+            if dotted == "random.Random":
+                if not node.args and not node.keywords:
+                    yield ctx.finding(
+                        self.id, node,
+                        "random.Random() without a seed draws system "
+                        "entropy; pass an explicit seed")
+            elif dotted.startswith("random."):
+                yield ctx.finding(
+                    self.id, node,
+                    f"{dotted}() uses the global random state; construct "
+                    "a seeded random.Random / np.random.default_rng and "
+                    "thread it through")
+            elif dotted in _SEEDABLE_NP:
+                if not node.args and not node.keywords:
+                    yield ctx.finding(
+                        self.id, node,
+                        f"{dotted}() without a seed draws system entropy; "
+                        "pass an explicit seed")
+            elif dotted.startswith("numpy.random."):
+                yield ctx.finding(
+                    self.id, node,
+                    f"{dotted}() uses numpy's legacy global state; use a "
+                    "seeded np.random.default_rng generator instead")
+
+
+@register
+class UnorderedIteration(Rule):
+    id = "DET02"
+    summary = "iteration over a set without a stable sort"
+    invariant = ("No hash-ordered container's iteration order reaches "
+                 "placement output, report text, or cache keys.")
+    fix = ("Wrap the set in sorted(...) with a stable key, or keep the "
+           "data in an insertion-ordered list/dict.")
+
+    def check(self, ctx: FileContext) -> Iterable[Finding]:
+        for site in _iteration_sites(ctx):
+            if _set_typed(site, ctx):
+                yield ctx.finding(
+                    self.id, site,
+                    "iterating a set: order is hash-dependent and can "
+                    "differ across runs; wrap in sorted(...) with a "
+                    "stable key")
+
+
+@register
+class AdHocClock(Rule):
+    id = "DET03"
+    summary = "raw clock call outside repro.runtime.telemetry"
+    invariant = ("All timing flows through Tracer phases so elapsed_s "
+                 "figures share one clock source and tests can inject a "
+                 "fake clock.")
+    fix = ("Open a tracer phase (with tracer.phase(...) as ph) and use "
+           "ph.split(), or accept a clock callable like Tracer does.")
+
+    def check(self, ctx: FileContext) -> Iterable[Finding]:
+        if ctx.relpath in _CLOCK_HOME:
+            return
+        for node in ctx.walk():
+            if isinstance(node, ast.Call):
+                dotted = ctx.dotted(node.func)
+                if dotted in _CLOCKS:
+                    yield ctx.finding(
+                        self.id, node,
+                        f"{dotted}() bypasses the Tracer clock; route "
+                        "timing through tracer.phase()/ph.split()")
+
+
+@register
+class IdSortKey(Rule):
+    id = "DET04"
+    summary = "sorting keyed on id() (object address)"
+    invariant = ("Orderings are functions of the input data, never of "
+                 "interpreter memory layout.")
+    fix = "Sort on a stable attribute (name, index) instead of id()."
+
+    _SORTERS = {"sorted", "min", "max"}
+
+    def check(self, ctx: FileContext) -> Iterable[Finding]:
+        for node in ctx.walk():
+            if not isinstance(node, ast.Call):
+                continue
+            dotted = ctx.dotted(node.func)
+            is_sorter = dotted in self._SORTERS or (
+                isinstance(node.func, ast.Attribute)
+                and node.func.attr == "sort")
+            if not is_sorter:
+                continue
+            for kw in node.keywords:
+                if kw.arg == "key" and self._uses_id(kw.value, ctx):
+                    yield ctx.finding(
+                        self.id, kw.value,
+                        "sort key uses id(): ordering depends on object "
+                        "addresses and varies across processes; key on "
+                        "stable data instead")
+
+    @staticmethod
+    def _uses_id(node: ast.AST, ctx: FileContext) -> bool:
+        if isinstance(node, ast.Name) and node.id == "id":
+            return True
+        for sub in ast.walk(node):
+            if isinstance(sub, ast.Call) and ctx.dotted(sub.func) == "id":
+                return True
+        return False

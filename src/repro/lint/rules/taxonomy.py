@@ -1,0 +1,109 @@
+"""Error-taxonomy rules (ERR family).
+
+The degradation ladder, the batch executor, and the CLI all dispatch on
+the :class:`~repro.errors.ReproError` taxonomy (``code`` strings, exit
+codes) rather than on message text — so diagnosed failures must be
+raised as taxonomy classes, and every taxonomy class must survive the
+pickling round-trip that ships it back from a pool worker (exceptions
+unpickle via ``cls(*args)`` plus ``__dict__`` state, i.e. the
+constructor must accept a single positional message).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+
+from ..core import FileContext, Finding
+from ..registry import Rule, register
+
+#: builtin exception types that diagnosed pipeline failures must not use
+#: directly (the taxonomy provides ValueError-compatible subclasses).
+_BARE_TYPES = {"ValueError", "RuntimeError"}
+
+
+@register
+class BareErrorRaise(Rule):
+    id = "ERR01"
+    summary = "raising bare ValueError/RuntimeError instead of taxonomy"
+    invariant = ("Every diagnosed failure raised from src/repro is a "
+                 "ReproError subclass so the ladder/executor/CLI can "
+                 "dispatch on its code instead of message text.")
+    fix = ("Raise the matching taxonomy class: OptionsError for invalid "
+           "arguments/knobs, ValidationError for structural netlist "
+           "problems, ParseError/NumericalError/LegalizationError/"
+           "CacheCorruptionError for their stages (all ValueError-"
+           "compatible where the builtin contract matters).")
+
+    def check(self, ctx: FileContext) -> Iterable[Finding]:
+        for node in ctx.walk():
+            if not isinstance(node, ast.Raise) or node.exc is None:
+                continue
+            call = node.exc
+            if isinstance(call, ast.Call) and isinstance(call.func,
+                                                         ast.Name):
+                name = call.func.id
+            elif isinstance(call, ast.Name):
+                name = call.id
+            else:
+                continue
+            if name in _BARE_TYPES:
+                yield ctx.finding(
+                    self.id, node,
+                    f"raise {name} from src/repro; raise a ReproError "
+                    "subclass (e.g. OptionsError/ValidationError) so "
+                    "callers can dispatch on the failure code")
+
+
+@register
+class UnpicklableError(Rule):
+    id = "ERR02"
+    summary = "ReproError subclass whose constructor breaks pickling"
+    invariant = ("Every ReproError subclass crosses the process-pool "
+                 "boundary: exceptions unpickle via cls(*args) with "
+                 "args=(message,), so __init__ must accept one "
+                 "positional argument with everything else optional.")
+    fix = ("Give every parameter after `message` a default and make it "
+           "keyword-only, forward **kwargs to super().__init__, and "
+           "keep extra state in self.payload.")
+
+    def check(self, ctx: FileContext) -> Iterable[Finding]:
+        taxonomy = ctx.project.repro_error_classes
+        for node in ctx.walk():
+            if not isinstance(node, ast.ClassDef):
+                continue
+            base_names = {b.attr if isinstance(b, ast.Attribute) else b.id
+                          for b in node.bases
+                          if isinstance(b, (ast.Attribute, ast.Name))}
+            if not base_names & taxonomy:
+                continue
+            init = next((s for s in node.body
+                         if isinstance(s, ast.FunctionDef)
+                         and s.name == "__init__"), None)
+            if init is None:
+                continue  # inherited constructor is pickle-safe
+            problem = self._signature_problem(init.args)
+            if problem:
+                yield ctx.finding(
+                    self.id, init,
+                    f"{node.name}.__init__ {problem}; unpickling calls "
+                    f"{node.name}(message) and would raise TypeError, "
+                    "losing the original failure at the pool boundary")
+
+    @staticmethod
+    def _signature_problem(args: ast.arguments) -> str | None:
+        positional = args.posonlyargs + args.args
+        # drop self
+        if positional and positional[0].arg in ("self", "cls"):
+            positional = positional[1:]
+        required = len(positional) - len(args.defaults)
+        if required > 1:
+            names = ", ".join(a.arg for a in positional[:required])
+            return f"requires {required} positional arguments ({names})"
+        kw_required = [a.arg for a, d in zip(args.kwonlyargs,
+                                             args.kw_defaults)
+                       if d is None]
+        if kw_required:
+            return ("has required keyword-only arguments "
+                    f"({', '.join(kw_required)})")
+        return None

@@ -1,0 +1,69 @@
+"""Telemetry-hygiene rules (TEL family).
+
+:class:`~repro.runtime.telemetry.Tracer` keeps a phase stack: a span
+that opens without the context manager never pops, corrupting every
+subsequent event path and elapsed time.  The contract is that spans are
+only opened as ``with tracer.phase(...)``, and the low-level
+``PhaseHandle`` is constructed nowhere but inside the telemetry module.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+
+from ..core import FileContext, Finding
+from ..registry import Rule, register
+
+_TELEMETRY_HOME = {"repro/runtime/telemetry.py"}
+
+
+@register
+class SpanOutsideWith(Rule):
+    id = "TEL01"
+    summary = "tracer span opened outside a with-statement"
+    invariant = ("Phases open only as `with tracer.phase(name)`: the "
+                 "context manager is what pops the phase stack and "
+                 "records the closing event; a stray .phase() call "
+                 "corrupts every later span path.")
+    fix = ("Use `with tracer.phase(name) as ph:` (ph.split() gives "
+           "mid-phase timestamps).")
+
+    def check(self, ctx: FileContext) -> Iterable[Finding]:
+        for node in ctx.walk():
+            if not (isinstance(node, ast.Call)
+                    and isinstance(node.func, ast.Attribute)
+                    and node.func.attr == "phase"):
+                continue
+            parent = ctx.parent(node)
+            if isinstance(parent, ast.withitem):
+                continue
+            yield ctx.finding(
+                self.id, node,
+                ".phase(...) outside a with-statement never closes the "
+                "span; open phases only via the context manager")
+
+
+@register
+class RawPhaseHandle(Rule):
+    id = "TEL02"
+    summary = "PhaseHandle constructed outside the telemetry module"
+    invariant = ("PhaseHandle lifecycles belong to Tracer.phase(); "
+                 "hand-built handles bypass the stack and the event "
+                 "log.")
+    fix = "Open a phase via tracer.phase() instead."
+
+    def check(self, ctx: FileContext) -> Iterable[Finding]:
+        if ctx.relpath in _TELEMETRY_HOME:
+            return
+        for node in ctx.walk():
+            if isinstance(node, ast.Call):
+                name = node.func.attr if isinstance(node.func,
+                                                    ast.Attribute) else (
+                    node.func.id if isinstance(node.func, ast.Name)
+                    else None)
+                if name == "PhaseHandle":
+                    yield ctx.finding(
+                        self.id, node,
+                        "PhaseHandle constructed directly; spans must "
+                        "come from tracer.phase()")

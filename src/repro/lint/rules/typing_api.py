@@ -1,0 +1,79 @@
+"""Strict-typing rules (TYP family).
+
+``mypy --strict`` runs in CI, but the container running the tests may
+not ship mypy — so the annotation *completeness* contract (every public
+function fully annotated) is also machine-checked here, where it can
+gate locally and in environments without the mypy toolchain.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, Iterator
+
+from ..core import FileContext, Finding
+from ..registry import Rule, register
+
+
+AnyDef = ast.FunctionDef | ast.AsyncFunctionDef
+
+
+def _public_defs(ctx: FileContext) -> Iterator[AnyDef]:
+    """Module-level and class-body function defs with public names.
+
+    Private helpers (leading underscore) and dunders other than
+    ``__init__`` are out of scope; nested functions are implementation
+    detail.
+    """
+    def from_body(body: list[ast.stmt]) -> Iterator[AnyDef]:
+        for stmt in body:
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                name = stmt.name
+                if name == "__init__" or not name.startswith("_"):
+                    yield stmt
+            elif isinstance(stmt, ast.ClassDef):
+                if not stmt.name.startswith("_"):
+                    yield from from_body(stmt.body)
+
+    yield from from_body(ctx.tree.body)
+
+
+@register
+class UntypedPublicApi(Rule):
+    id = "TYP01"
+    summary = "public function with missing parameter/return annotations"
+    invariant = ("The public surface of src/repro is fully annotated so "
+                 "mypy --strict holds and call sites type-check instead "
+                 "of degrading to Any.")
+    fix = ("Annotate every parameter (including *args/**kwargs) and the "
+           "return type; use None returns explicitly (-> None).")
+
+    def check(self, ctx: FileContext) -> Iterable[Finding]:
+        for node in _public_defs(ctx):
+            missing = self._missing(node)
+            if missing:
+                yield ctx.finding(
+                    self.id, node,
+                    f"{node.name}() missing annotations: "
+                    f"{', '.join(missing)}")
+
+    @staticmethod
+    def _missing(node: AnyDef) -> list[str]:
+        args = node.args
+        missing: list[str] = []
+        positional = args.posonlyargs + args.args
+        for index, arg in enumerate(positional):
+            if index == 0 and arg.arg in ("self", "cls"):
+                continue
+            if arg.annotation is None:
+                missing.append(arg.arg)
+        for arg in args.kwonlyargs:
+            if arg.annotation is None:
+                missing.append(arg.arg)
+        if args.vararg is not None and args.vararg.annotation is None:
+            missing.append(f"*{args.vararg.arg}")
+        if args.kwarg is not None and args.kwarg.annotation is None:
+            missing.append(f"**{args.kwarg.arg}")
+        if node.returns is None:
+            missing.append("return")
+        return missing

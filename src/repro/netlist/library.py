@@ -16,6 +16,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field
+from ..errors import ValidationError
 
 
 class PinDirection(enum.Enum):
@@ -80,10 +81,10 @@ class CellType:
 
     def __post_init__(self) -> None:
         if self.width <= 0 or self.height <= 0:
-            raise ValueError(f"cell type {self.name!r} must have positive size")
+            raise ValidationError(f"cell type {self.name!r} must have positive size")
         names = [p.name for p in self.pins]
         if len(names) != len(set(names)):
-            raise ValueError(f"cell type {self.name!r} has duplicate pin names")
+            raise ValidationError(f"cell type {self.name!r} has duplicate pin names")
 
     @property
     def area(self) -> float:
@@ -138,7 +139,7 @@ class Library:
         existing = self._types.get(cell_type.name)
         if existing is not None:
             if existing != cell_type:
-                raise ValueError(
+                raise ValidationError(
                     f"library already has a different master named {cell_type.name!r}"
                 )
             return existing

@@ -12,6 +12,7 @@ from dataclasses import dataclass, field
 
 from .cell import Cell
 from .library import PinSpec
+from ..errors import ValidationError
 
 
 @dataclass(frozen=True)
@@ -99,7 +100,7 @@ class Net:
             ValueError: for a net with no pins.
         """
         if not self.pins:
-            raise ValueError(f"net {self.name!r} has no pins")
+            raise ValidationError(f"net {self.name!r} has no pins")
         xs: list[float] = []
         ys: list[float] = []
         for ref in self.pins:

@@ -20,6 +20,7 @@ import numpy as np
 from .cell import Cell
 from .library import CellType, Library, PinSpec
 from .net import Net, PinRef
+from ..errors import OptionsError, ValidationError
 
 
 @dataclass
@@ -56,10 +57,10 @@ class Netlist:
                 library.
         """
         if name in self._cell_by_name:
-            raise ValueError(f"duplicate cell name {name!r}")
+            raise ValidationError(f"duplicate cell name {name!r}")
         if isinstance(cell_type, str):
             if self.library is None:
-                raise ValueError("cannot look up master by name: no library attached")
+                raise OptionsError("cannot look up master by name: no library attached")
             cell_type = self.library[cell_type]
         cell = Cell(name=name, cell_type=cell_type, x=x, y=y, fixed=fixed)
         cell.attributes.update(attributes)
@@ -77,7 +78,7 @@ class Netlist:
             ValueError: duplicate net name.
         """
         if name in self._net_by_name:
-            raise ValueError(f"duplicate net name {name!r}")
+            raise ValidationError(f"duplicate net name {name!r}")
         net = Net(name=name, weight=weight)
         net.attributes.update(attributes)
         net.index = len(self._nets)
@@ -236,7 +237,7 @@ class Netlist:
         """
         centers = np.asarray(centers, dtype=float)
         if centers.shape != (self.num_cells, 2):
-            raise ValueError(
+            raise OptionsError(
                 f"expected shape ({self.num_cells}, 2), got {centers.shape}")
         for i, c in enumerate(self._cells):
             if only_movable and c.fixed:
@@ -277,9 +278,9 @@ class Netlist:
         if isinstance(absorb, str):
             absorb = self.net(absorb)
         if keep is absorb:
-            raise ValueError(f"cannot merge net {keep.name!r} with itself")
+            raise OptionsError(f"cannot merge net {keep.name!r} with itself")
         if keep.driver is not None and absorb.driver is not None:
-            raise ValueError(
+            raise ValidationError(
                 f"merging {absorb.name!r} into {keep.name!r} would create "
                 f"a multi-driven net")
         for ref in absorb.pins:

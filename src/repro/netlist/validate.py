@@ -15,6 +15,7 @@ import enum
 from dataclasses import dataclass
 
 from .netlist import Netlist
+from ..errors import ValidationError
 
 
 class Severity(enum.Enum):
@@ -108,7 +109,8 @@ def errors(violations: list[Violation]) -> list[Violation]:
 
 
 def assert_clean(netlist: Netlist, **kwargs: bool) -> None:
-    """Raise :class:`ValueError` listing all errors if the netlist has any.
+    """Raise :class:`~repro.errors.ValidationError` (a ``ValueError``)
+    listing all errors if the netlist has any.
 
     Keyword arguments are forwarded to :func:`validate`.
     """
@@ -116,6 +118,8 @@ def assert_clean(netlist: Netlist, **kwargs: bool) -> None:
     if errs:
         detail = "\n".join(str(v) for v in errs[:20])
         more = "" if len(errs) <= 20 else f"\n... and {len(errs) - 20} more"
-        raise ValueError(
+        raise ValidationError(
             f"netlist {netlist.name!r} has {len(errs)} structural errors:\n"
-            f"{detail}{more}")
+            f"{detail}{more}",
+            design=netlist.name,
+            violations=[str(v) for v in errs[:20]])

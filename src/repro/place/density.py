@@ -22,6 +22,7 @@ import numpy as np
 from ..kernels import bell_value_grad, rasterize_overlap
 from .arrays import PlacementArrays
 from .region import BinGrid
+from ..errors import OptionsError
 
 
 def density_map(arrays: PlacementArrays, x: np.ndarray, y: np.ndarray,
@@ -73,7 +74,7 @@ class BellDensity:
     """
 
     def __init__(self, arrays: PlacementArrays, grid: BinGrid,
-                 target_density: float = 1.0):
+                 target_density: float = 1.0) -> None:
         self.arrays = arrays
         self.grid = grid
         self.target_density = target_density
@@ -85,7 +86,7 @@ class BellDensity:
         movable_area = float(arrays.area[arrays.movable].sum())
         total_usable = float(usable.sum())
         if total_usable <= 0:
-            raise ValueError("no usable bin capacity for density target")
+            raise OptionsError("no usable bin capacity for density target")
         self.target = usable * (movable_area / total_usable)
 
     def _fixed_blockage(self) -> np.ndarray:

@@ -25,6 +25,7 @@ import numpy as np
 from ..kernels import IncrementalHPWL
 from ..netlist import Cell, Netlist
 from .region import PlacementRegion
+from ..errors import OptionsError
 
 
 def _cells_hpwl(netlist: Netlist, cells: list[Cell]) -> float:
@@ -150,7 +151,7 @@ def row_reorder_pass(netlist: Netlist, region: PlacementRegion, *,
         Number of accepted reorders.
     """
     if window < 2 or window > 5:
-        raise ValueError("window must be in [2, 5]")
+        raise OptionsError("window must be in [2, 5]")
     frozen = frozen or set()
     inc = inc or IncrementalHPWL(netlist)
     rows: dict[int, list[Cell]] = {}

@@ -27,6 +27,8 @@ from dataclasses import dataclass, replace
 
 import numpy as np
 
+from typing import TYPE_CHECKING, Callable
+
 from ...errors import NumericalError
 from ...runtime.telemetry import Tracer
 from ..arrays import PlacementArrays
@@ -36,6 +38,11 @@ from ..region import PlacementRegion
 from .clustering import Clustering, cluster_cells
 from .coarsen import build_coarse_netlist, interpolate_positions
 from .options import MultilevelOptions
+
+if TYPE_CHECKING:
+    from ...robust.checkpoint import CheckpointHook
+    from ...robust.guards import GuardOptions
+    from ..nonlinear import NonlinearOptions
 
 
 @dataclass
@@ -116,13 +123,17 @@ def multilevel_place(arrays: PlacementArrays, region: PlacementRegion, *,
                      gp_options: GlobalPlaceOptions | None = None,
                      ml_options: MultilevelOptions | None = None,
                      engine: str = "quadratic",
-                     nonlinear_options=None,
-                     extra_pairs_x=None, extra_pairs_y=None,
+                     nonlinear_options: NonlinearOptions | None = None,
+                     extra_pairs_x: list[tuple[int, int, float,
+                                               float]] | None = None,
+                     extra_pairs_y: list[tuple[int, int, float,
+                                               float]] | None = None,
                      groups: np.ndarray | None = None,
-                     post_solve=None,
+                     post_solve: Callable[[np.ndarray, np.ndarray],
+                                          None] | None = None,
                      tracer: Tracer | None = None,
-                     guard=None,
-                     checkpoint=None,
+                     guard: GuardOptions | None = None,
+                     checkpoint: CheckpointHook | None = None,
                      atomic_groups: list[list[int]] | None = None,
                      resume_x: np.ndarray | None = None,
                      resume_y: np.ndarray | None = None,

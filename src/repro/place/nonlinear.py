@@ -17,6 +17,7 @@ from dataclasses import dataclass, field, replace
 
 import numpy as np
 
+from ..robust.checkpoint import CheckpointHook
 from ..robust.guards import GuardOptions, IterateGuard
 from ..robust.faults import fault_fires
 from .arrays import PlacementArrays
@@ -24,6 +25,7 @@ from .density import BellDensity, overflow
 from .optimizer import CGOptions, conjugate_gradient
 from .region import BinGrid, PlacementRegion, default_grid
 from .wirelength import WL_MODELS, hpwl
+from ..errors import OptionsError
 
 
 @dataclass
@@ -72,7 +74,7 @@ class NonlinearPlacer:
                  extra_pairs_x: list[tuple[int, int, float, float]] | None = None,
                  extra_pairs_y: list[tuple[int, int, float, float]] | None = None,
                  guard: GuardOptions | None = None,
-                 checkpoint=None):
+                 checkpoint: CheckpointHook | None = None) -> None:
         self.arrays = arrays
         self.region = region
         self.options = options or NonlinearOptions()
@@ -83,7 +85,7 @@ class NonlinearPlacer:
         self.grid = grid or default_grid(region, arrays.netlist)
         self.density = BellDensity(arrays, self.grid)
         if self.options.wirelength_model not in WL_MODELS:
-            raise ValueError(
+            raise OptionsError(
                 f"unknown wirelength model {self.options.wirelength_model!r}")
         self._wl_grad = WL_MODELS[self.options.wirelength_model]
         self.extra_pairs_x = extra_pairs_x or []

@@ -21,9 +21,11 @@ group ids — used to spread fused slices as units).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Callable
 
 import numpy as np
 
+from ..robust.checkpoint import CheckpointHook
 from ..robust.guards import GuardedSolve, GuardOptions, IterateGuard
 from ..runtime.telemetry import Tracer
 from .arrays import PlacementArrays
@@ -32,6 +34,7 @@ from .density import overflow
 from .region import BinGrid, PlacementRegion, default_grid
 from .spreading import spread_positions
 from .wirelength import hpwl
+from ..errors import OptionsError
 
 # CG iteration budget per solve.  Early B2B systems (coincident pins ->
 # clamped 1/|d| weights spanning ~7 decades) never converge at rtol=1e-8
@@ -144,13 +147,14 @@ class QuadraticPlacer:
                  extra_pairs_x: list[tuple[int, int, float, float]] | None = None,
                  extra_pairs_y: list[tuple[int, int, float, float]] | None = None,
                  groups: np.ndarray | None = None,
-                 post_solve=None,
+                 post_solve: Callable[[np.ndarray, np.ndarray],
+                                      None] | None = None,
                  tracer: Tracer | None = None,
                  guard: GuardOptions | None = None,
-                 checkpoint=None,
+                 checkpoint: CheckpointHook | None = None,
                  warm_seed: str = "direct",
                  preconditioner: str = "jacobi",
-                 min_distance: float | None = None):
+                 min_distance: float | None = None) -> None:
         self.arrays = arrays
         self.region = region
         self.options = options or GlobalPlaceOptions()
@@ -169,10 +173,10 @@ class QuadraticPlacer:
         # runtime's crash/timeout resume path
         self.checkpoint = checkpoint
         if warm_seed not in ("direct", "coords"):
-            raise ValueError(f"unknown warm_seed policy: {warm_seed!r}")
+            raise OptionsError(f"unknown warm_seed policy: {warm_seed!r}")
         self.warm_seed = warm_seed
         if preconditioner not in ("jacobi", "ilu"):
-            raise ValueError(
+            raise OptionsError(
                 f"unknown preconditioner policy: {preconditioner!r}")
         self.preconditioner = preconditioner
         self.min_distance = min_distance

@@ -14,6 +14,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from ..netlist import Netlist
+from ..errors import OptionsError, ValidationError
 
 
 @dataclass(frozen=True)
@@ -78,13 +79,13 @@ class PlacementRegion:
 
     def __post_init__(self) -> None:
         if self.width <= 0 or self.height <= 0:
-            raise ValueError("placement region must have positive size")
+            raise ValidationError("placement region must have positive size")
         if self.row_height <= 0 or self.site_width <= 0:
-            raise ValueError("row height and site width must be positive")
+            raise ValidationError("row height and site width must be positive")
         if not self.rows:
             n = int(self.height // self.row_height)
             if n < 1:
-                raise ValueError("region shorter than one row")
+                raise ValidationError("region shorter than one row")
             self.rows = [
                 Row(index=i, x=self.x, y=self.y + i * self.row_height,
                     width=self.width, height=self.row_height,
@@ -168,13 +169,13 @@ def region_for(netlist: Netlist, target_utilization: float = 0.7,
         site_width: override; defaults to the library site width.
     """
     if not 0.0 < target_utilization <= 1.0:
-        raise ValueError("target utilization must be in (0, 1]")
+        raise OptionsError("target utilization must be in (0, 1]")
     lib = netlist.library
     rh = row_height if row_height is not None else (lib.row_height if lib else 8.0)
     sw = site_width if site_width is not None else (lib.site_width if lib else 1.0)
     area = netlist.total_movable_area() / target_utilization
     if area <= 0:
-        raise ValueError("netlist has no movable area")
+        raise ValidationError("netlist has no movable area")
     width = math.sqrt(area / aspect_ratio)
     height = width * aspect_ratio
     # round to whole rows/sites, never shrinking below the target area
@@ -200,7 +201,7 @@ class BinGrid:
 
     def __post_init__(self) -> None:
         if self.nx < 1 or self.ny < 1:
-            raise ValueError("bin grid needs at least one bin per axis")
+            raise OptionsError("bin grid needs at least one bin per axis")
 
     @property
     def bin_w(self) -> float:

@@ -23,6 +23,7 @@ import numpy as np
 
 from ..kernels import hpwl_kernel, hpwl_per_net_kernel, segment_reduce
 from .arrays import PlacementArrays
+from ..errors import OptionsError
 
 
 def hpwl(arrays: PlacementArrays, x: np.ndarray, y: np.ndarray) -> float:
@@ -47,7 +48,7 @@ class _AxisModel:
 
     def __init__(self, arrays: PlacementArrays, gamma: float):
         if gamma <= 0:
-            raise ValueError("gamma must be positive")
+            raise OptionsError("gamma must be positive")
         self.arrays = arrays
         self.gamma = gamma
         self._starts = arrays.net_start

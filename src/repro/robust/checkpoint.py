@@ -21,12 +21,17 @@ import json
 import os
 from dataclasses import dataclass
 from pathlib import Path
+from typing import Callable
 
 import numpy as np
 
 from ..errors import CacheCorruptionError
 
 CHECKPOINT_SCHEMA = 1
+
+#: signature of the per-iteration snapshot hook the engines call:
+#: ``checkpoint(iteration, x, y)``.
+CheckpointHook = Callable[[int, np.ndarray, np.ndarray], None]
 
 
 def _digest(payload: dict) -> str:
@@ -56,7 +61,7 @@ class CheckpointRecorder:
     """
 
     def __init__(self, store: "CheckpointStore", key: str, *,
-                 interval: int = 5):
+                 interval: int = 5) -> None:
         self.store = store
         self.key = key
         self.interval = max(interval, 1)
@@ -76,7 +81,7 @@ class CheckpointRecorder:
 class CheckpointStore:
     """Durable key -> checkpoint JSON store with digest verification."""
 
-    def __init__(self, root: str | Path, *, interval: int = 5):
+    def __init__(self, root: str | Path, *, interval: int = 5) -> None:
         self.root = Path(root)
         self.interval = interval
 

@@ -37,6 +37,7 @@ from ..place.arrays import PlacementArrays
 from ..place.legalize import check_legal, row_scan_place, tetris_legalize
 from ..place.region import PlacementRegion
 from ..runtime.telemetry import Tracer
+from .checkpoint import Checkpoint, CheckpointHook
 from .guards import GuardedSolve
 
 #: default rung sequences per requested placer
@@ -210,7 +211,8 @@ def place_with_fallback(netlist: Netlist, region: PlacementRegion,
                         placer: str = "structure",
                         rungs: tuple[str, ...] | None = None,
                         tracer: Tracer | None = None,
-                        checkpoint=None, resume=None
+                        checkpoint: CheckpointHook | None = None,
+                        resume: Checkpoint | None = None
                         ) -> tuple[PlaceOutcome, DegradationReport]:
     """Place with the degradation ladder.
 

@@ -63,7 +63,7 @@ class GuardedSolve:
     """
 
     def __init__(self, solve: Callable[..., np.ndarray], *, stage: str,
-                 design: str = "", guard: GuardOptions | None = None):
+                 design: str = "", guard: GuardOptions | None = None) -> None:
         self.solve = solve
         self.stage = stage
         self.design = design
@@ -98,7 +98,7 @@ class IterateGuard:
     def __init__(self, options: GuardOptions | None = None, *,
                  stage: str = "global_place", design: str = "",
                  bounds: tuple[float, float, float, float] | None = None,
-                 movable: np.ndarray | None = None):
+                 movable: np.ndarray | None = None) -> None:
         self.options = options or GuardOptions()
         self.stage = stage
         self.design = design

@@ -130,7 +130,7 @@ class ArtifactCache:
     supplied).
     """
 
-    def __init__(self, root: str | Path):
+    def __init__(self, root: str | Path) -> None:
         self.root = Path(root)
 
     def path(self, key: str) -> Path:

@@ -184,7 +184,7 @@ class BatchExecutor:
                  cache: ArtifactCache | None = None,
                  timeout_s: float | None = None, retries: int = 1,
                  checkpoints: CheckpointStore | None = None,
-                 fallback: bool = True):
+                 fallback: bool = True) -> None:
         self.workers = workers
         self.cache = cache
         self.timeout_s = timeout_s
@@ -222,6 +222,8 @@ class BatchExecutor:
                                          fallback=self.fallback)
                     result.attempts = attempts
                     break
+                # sanctioned fault boundary: failures become JobResult
+                # records with error_kind. repro-lint: disable=NUM03
                 except Exception as exc:
                     tracer.error(exc, job=job.label)
                     if attempts > self.retries:
@@ -289,6 +291,9 @@ class BatchExecutor:
                         error = repr(exc)
                         kind = "crash"
                         pool = rebuild(pool, idx, pending)
+                    # sanctioned fault boundary: worker exceptions are
+                    # shipped back as JobResult records with their
+                    # taxonomy kind. repro-lint: disable=NUM03
                     except Exception as exc:
                         error = str(exc) or repr(exc)
                         kind = error_kind(exc)

@@ -14,6 +14,7 @@ import dataclasses
 from dataclasses import dataclass, field
 
 from ..core import PlacerOptions
+from ..errors import OptionsError
 
 PLACER_NAMES = ("baseline", "structure")
 
@@ -38,7 +39,7 @@ class PlacementJob:
 
     def __post_init__(self) -> None:
         if self.placer not in PLACER_NAMES:
-            raise ValueError(
+            raise OptionsError(
                 f"unknown placer {self.placer!r}; expected one of "
                 f"{PLACER_NAMES}")
 

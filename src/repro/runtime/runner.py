@@ -12,6 +12,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 from pathlib import Path
+from typing import Iterable, Sequence
 
 from ..core import PlacerOptions
 from ..eval import format_table
@@ -63,7 +64,8 @@ class SuiteResult:
         raise KeyError(f"no result for {design}:{placer}")
 
 
-def make_jobs(designs, placers=DEFAULT_PLACERS, *,
+def make_jobs(designs: Iterable[str],
+              placers: Sequence[str] = DEFAULT_PLACERS, *,
               options: PlacerOptions | None = None,
               seed: int = 0) -> list[PlacementJob]:
     """Cross designs × placers into deterministic job order."""
@@ -71,7 +73,8 @@ def make_jobs(designs, placers=DEFAULT_PLACERS, *,
             for d in designs for p in placers]
 
 
-def run_suite(designs=None, placers=DEFAULT_PLACERS, *,
+def run_suite(designs: Sequence[str] | None = None,
+              placers: Sequence[str] = DEFAULT_PLACERS, *,
               suite: str = "dac2012",
               workers: int = 0,
               seed: int = 0,

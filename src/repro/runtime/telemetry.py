@@ -36,7 +36,7 @@ class PhaseHandle:
     __slots__ = ("name", "path", "start_s", "elapsed_s", "_clock")
 
     def __init__(self, name: str, path: str, start_s: float,
-                 clock: Callable[[], float]):
+                 clock: Callable[[], float]) -> None:
         self.name = name
         self.path = path
         self.start_s = start_s
@@ -65,7 +65,7 @@ class Tracer:
         counters: name → integer count.
     """
 
-    def __init__(self, clock: Callable[[], float] = time.perf_counter):
+    def __init__(self, clock: Callable[[], float] = time.perf_counter) -> None:
         self.clock = clock
         self.events: list[dict] = []
         self.counters: dict[str, int] = {}

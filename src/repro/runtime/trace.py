@@ -20,7 +20,7 @@ from .telemetry import Tracer
 class JsonlTraceWriter:
     """Streaming JSONL writer; usable as a context manager."""
 
-    def __init__(self, path: str | Path):
+    def __init__(self, path: str | Path) -> None:
         self.path = Path(path)
         self.path.parent.mkdir(parents=True, exist_ok=True)
         self._fh = self.path.open("w", encoding="utf-8")

@@ -153,6 +153,22 @@ class TestReport:
     def test_format_table_empty(self):
         assert "(no rows)" in format_table([])
 
+    def test_format_table_union_of_row_keys(self):
+        # a column present only on later rows (the degradation "rung"
+        # added per-result) must still render
+        rows = [{"placer": "baseline", "hpwl": 10.0},
+                {"placer": "structure", "hpwl": 9.0, "rung": "row-scan"}]
+        text = format_table(rows)
+        assert "rung" in text.splitlines()[0]
+        assert "row-scan" in text
+
+    def test_format_table_stable_across_runs(self):
+        def build_rows():
+            return [{"placer": "baseline", "hpwl": 10.0},
+                    {"placer": "structure", "hpwl": 9.0, "rung": "cg"}]
+
+        assert format_table(build_rows()) == format_table(build_rows())
+
     def test_ratio_row(self):
         row = ratio_row("hpwl", 100.0, 90.0)
         assert row["improvement_%"] == pytest.approx(10.0)
