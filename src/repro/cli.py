@@ -6,6 +6,8 @@ Subcommands::
     repro-place extract  --design dp_alu16                # extraction report
     repro-place place    --design dp_alu16 --placer both  # run placers
     repro-place run      --suite dac2012 --workers 4      # batch runtime
+    repro-place serve    --socket .repro-serve.sock       # placement daemon
+    repro-place submit   --design dp_alu16 --wait         # client for serve
     repro-place eval     --aux design.aux                 # evaluate a bundle
     repro-place suite                                     # list suite designs
     repro-place lint     [--json] [PATHS...]              # static contracts
@@ -17,10 +19,17 @@ jobs fan out over ``--workers`` processes, ``run`` additionally keeps a
 durable artifact cache, global-place checkpoints, and can emit a JSONL
 telemetry trace.
 
+``serve`` runs the placement daemon (:mod:`repro.serve`): a local
+unix-socket service with a persistent priority queue, a sharded
+artifact cache, and live stats; ``submit`` is its client — it submits
+jobs, waits for results, and exposes the control plane
+(``--status``/``--result``/``--cancel``/``--stats``/``--ping``/
+``--shutdown``).
+
 Exit codes follow the failure taxonomy (see README / DESIGN.md):
 0 success, 1 generic failure, 2 usage error (argparse), 3 parse,
 4 validation, 5 numerical, 6 legalization, 7 timeout, 8 cache
-corruption.  ``--strict`` promotes netlist validation warnings to
+corruption, 9 cancelled.  ``--strict`` promotes netlist validation warnings to
 errors; ``--no-fallback`` disables the degradation ladder so the first
 engine failure is terminal (and exits with its taxonomy code).
 
@@ -209,13 +218,25 @@ def _cmd_run(args: argparse.Namespace) -> int:
         checkpoint_dir=checkpoint_dir,
         fallback=not args.no_fallback,
     )
-    _emit(suite_result.rows(), f"suite {args.suite}", args.json)
-    if not args.json:
+    if args.json:
+        print(json.dumps({"rows": suite_result.rows(),
+                          "counters": suite_result.counters,
+                          "cache": suite_result.cache_stats},
+                         indent=2, sort_keys=True))
+    else:
+        _emit(suite_result.rows(), f"suite {args.suite}", False)
         counters = suite_result.counters
         print(f"jobs={counters.get('executor.jobs', 0)} "
               f"placed={counters.get('placer.invocations', 0)} "
               f"cache_hits={counters.get('cache.hit', 0)} "
               f"failures={counters.get('executor.failures', 0)}")
+        cache_stats = suite_result.cache_stats
+        if cache_stats is not None:
+            print(f"cache entries={cache_stats['entries']} "
+                  f"bytes={cache_stats['bytes']} "
+                  f"hits={cache_stats['hits']} "
+                  f"misses={cache_stats['misses']} "
+                  f"evictions={cache_stats['evictions']}")
         if suite_result.trace_path:
             print(f"trace written to {suite_result.trace_path}")
     if args.profile:
@@ -227,6 +248,121 @@ def _cmd_run(args: argparse.Namespace) -> int:
         return 0
     # the batch exit code mirrors the first failure's taxonomy kind
     return exit_code_for(suite_result.failures[0].error_kind or "other")
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from .serve.daemon import PlacementDaemon, ServeConfig
+    config = ServeConfig(
+        socket_path=args.socket,
+        workers=args.workers,
+        cache_dir=None if args.no_cache else args.cache_dir,
+        cache_shards=args.cache_shards,
+        cache_budget_mb=args.cache_budget_mb,
+        checkpoint_dir=None if args.no_checkpoint else args.checkpoint_dir,
+        spool_dir=None if args.no_spool else args.spool_dir,
+        trace_path=args.trace,
+        max_pending=args.max_pending,
+        retries=args.retries,
+        timeout_s=args.timeout,
+        pool=args.pool,
+        fallback=not args.no_fallback,
+    )
+    print(f"repro-serve: listening on {args.socket} "
+          f"(workers={args.workers}, max_pending={args.max_pending})",
+          flush=True)
+    PlacementDaemon(config).run()
+    print("repro-serve: shut down cleanly")
+    return 0
+
+
+def _cmd_submit(args: argparse.Namespace) -> int:
+    from .serve.client import ServeClient
+    # control-plane one-shots share the submit socket flags
+    with ServeClient(args.socket, timeout_s=None) as client:
+        if args.ping:
+            print(json.dumps(client.ping(), indent=2, sort_keys=True))
+            return 0
+        if args.stats:
+            print(json.dumps(client.stats()["stats"], indent=2,
+                             sort_keys=True))
+            return 0
+        if args.status:
+            print(json.dumps(client.status(args.status), indent=2,
+                             sort_keys=True))
+            return 0
+        if args.result:
+            response = client.result(args.result, wait=args.wait,
+                                     timeout=args.timeout)
+            print(json.dumps(response, indent=2, sort_keys=True))
+            return _submit_exit(response)
+        if args.cancel:
+            print(json.dumps(client.cancel(args.cancel), indent=2,
+                             sort_keys=True))
+            return 0
+        if args.shutdown:
+            print(json.dumps(client.shutdown(args.shutdown), indent=2,
+                             sort_keys=True))
+            return 0
+        return _submit_jobs(args, client)
+
+
+def _submit_jobs(args: argparse.Namespace, client) -> int:
+    designs = args.designs or [args.design]
+    # always send explicit options: the daemon's job key is identical to
+    # the defaulted form, and the journal then records the exact knobs
+    from .runtime.cache import canonical_options
+    options = canonical_options(_placer_options(args))
+    submitted = []
+    for design in designs:
+        response = client.submit(design, placer=args.placer,
+                                 seed=args.seed, priority=args.priority,
+                                 options=options)
+        submitted.append(response)
+    if not args.wait:
+        _emit([{"job_id": r["job_id"], "state": r["state"],
+                "design": r["design"]} for r in submitted],
+              "submitted jobs", args.json)
+        return 0
+    rows, exit_code = [], 0
+    for response in submitted:
+        if response["state"] not in ("done", "failed", "cancelled"):
+            response = client.result(response["job_id"], wait=True,
+                                     timeout=args.timeout)
+        else:
+            response = client.result(response["job_id"])
+        if "row" in response:
+            row = dict(response["row"])
+            row["job_id"] = response["job_id"]
+            rows.append(row)
+        else:
+            rows.append({"job_id": response["job_id"],
+                         "state": response["state"],
+                         "design": response["design"],
+                         "error": response.get("error", ""),
+                         "error_kind": _response_kind(response)})
+        code = _submit_exit(response)
+        if code and not exit_code:
+            exit_code = code
+    _emit(rows, "placement results", args.json)
+    return exit_code
+
+
+def _response_kind(response: dict) -> str:
+    if "error_kind" in response:
+        return response["error_kind"]
+    if response.get("state") == "cancelled":
+        return "cancelled"
+    return "other"
+
+
+def _submit_exit(response: dict) -> int:
+    """Map one terminal job response onto the taxonomy exit code."""
+    state = response.get("state")
+    if state == "done":
+        return 0
+    if state in ("failed", "cancelled"):
+        return exit_code_for(_response_kind(response))
+    return 0  # still queued/running (e.g. result without --wait)
 
 
 def _cmd_eval(args: argparse.Namespace) -> int:
@@ -329,6 +465,88 @@ def main(argv: list[str] | None = None) -> int:
     p_run.add_argument("--no-checkpoint", action="store_true",
                        help="disable global-place checkpoints")
 
+    p_serve = sub.add_parser(
+        "serve", help="run the placement daemon on a local socket")
+    p_serve.add_argument("--socket", default=".repro-serve.sock",
+                         help="unix-socket path to listen on")
+    p_serve.add_argument("--workers", type=int, default=1,
+                         help="concurrent placements (bridge threads)")
+    p_serve.add_argument("--cache-dir", default=".repro-cache",
+                         help="sharded artifact cache directory")
+    p_serve.add_argument("--no-cache", action="store_true",
+                         help="disable the artifact cache")
+    p_serve.add_argument("--cache-shards", type=int, default=8,
+                         help="cache keyspace shard count")
+    p_serve.add_argument("--cache-budget-mb", type=float, default=None,
+                         help="total cache byte budget in MiB (LRU "
+                              "eviction per shard); unbounded if unset")
+    p_serve.add_argument("--checkpoint-dir", default=".repro-checkpoints",
+                         help="checkpoint directory (enables cancel-"
+                              "with-snapshot and resume)")
+    p_serve.add_argument("--no-checkpoint", action="store_true",
+                         help="disable global-place checkpoints")
+    p_serve.add_argument("--spool-dir", default=".repro-spool",
+                         help="job-journal directory (accepted jobs "
+                              "survive a daemon restart)")
+    p_serve.add_argument("--no-spool", action="store_true",
+                         help="disable the job journal")
+    p_serve.add_argument("--trace", default=None,
+                         help="stream JSONL telemetry rows here")
+    p_serve.add_argument("--max-pending", type=int, default=2048,
+                         help="bounded-admission cap; beyond it submits "
+                              "are rejected with error_kind "
+                              "'backpressure'")
+    p_serve.add_argument("--retries", type=int, default=1,
+                         help="retry budget for crashing jobs")
+    p_serve.add_argument("--timeout", type=float, default=None,
+                         help="per-job timeout in seconds (with --pool)")
+    p_serve.add_argument("--pool", action="store_true",
+                         help="run each job in a process pool for crash/"
+                              "timeout isolation (cancel tokens do not "
+                              "cross the process boundary)")
+    p_serve.add_argument("--no-fallback", action="store_true",
+                         help="disable the degradation ladder")
+
+    p_submit = sub.add_parser(
+        "submit", help="submit jobs to (and control) a running daemon")
+    p_submit.add_argument("--socket", default=".repro-serve.sock",
+                          help="daemon unix-socket path")
+    p_submit.add_argument("--design", default="dp_alu16",
+                          help="named suite design to place")
+    p_submit.add_argument("--designs", nargs="*", default=None,
+                          help="several designs (overrides --design)")
+    p_submit.add_argument("--placer", default="structure",
+                          choices=["baseline", "structure"])
+    p_submit.add_argument("--seed", type=int, default=0)
+    p_submit.add_argument("--priority", type=int, default=0,
+                          help="higher runs first; ties are FIFO")
+    p_submit.add_argument("--structure-weight", type=float, default=1.0)
+    p_submit.add_argument("--legalization", default="slices",
+                          choices=["slices", "blocks", "none"])
+    p_submit.add_argument("--multilevel", action="store_true")
+    p_submit.add_argument("--levels", type=int, default=3)
+    p_submit.add_argument("--cluster-ratio", type=float, default=0.4)
+    p_submit.add_argument("--no-wait", dest="wait", action="store_false",
+                          help="return job ids immediately instead of "
+                               "waiting for results")
+    p_submit.add_argument("--timeout", type=float, default=None,
+                          help="wait deadline in seconds")
+    p_submit.add_argument("--json", action="store_true",
+                          help="emit results as JSON instead of a table")
+    p_submit.add_argument("--status", metavar="JOB_ID", default=None,
+                          help="report one job's status and exit")
+    p_submit.add_argument("--result", metavar="JOB_ID", default=None,
+                          help="fetch one job's result and exit")
+    p_submit.add_argument("--cancel", metavar="JOB_ID", default=None,
+                          help="cancel one job and exit")
+    p_submit.add_argument("--stats", action="store_true",
+                          help="print live daemon stats and exit")
+    p_submit.add_argument("--ping", action="store_true",
+                          help="health-check the daemon and exit")
+    p_submit.add_argument("--shutdown", metavar="MODE", default=None,
+                          choices=["drain", "now"],
+                          help="ask the daemon to shut down and exit")
+
     p_eval = sub.add_parser("eval", help="evaluate current placement")
     add_design_args(p_eval)
 
@@ -345,6 +563,8 @@ def main(argv: list[str] | None = None) -> int:
         "extract": _cmd_extract,
         "place": _cmd_place,
         "run": _cmd_run,
+        "serve": _cmd_serve,
+        "submit": _cmd_submit,
         "eval": _cmd_eval,
     }
     try:

@@ -21,6 +21,8 @@ NumericalError        numerical   5
 LegalizationError     legalization 6
 (job timeout)         timeout     7
 CacheCorruptionError  cache       8
+JobCancelledError     cancelled   9
+ProtocolError         protocol    1
 ====================  ==========  =========
 
 Exit code 2 stays reserved for argparse usage errors.  Timeouts are not
@@ -212,6 +214,49 @@ class CacheCorruptionError(ReproError):
             self.payload["key"] = key
 
 
+class JobCancelledError(ReproError):
+    """A job was cancelled while queued or mid-placement.
+
+    Raised from inside the global-placement loop by the serve layer's
+    cancel-aware checkpoint hook (after forcing a final snapshot to
+    disk, so the work done so far survives).  Cancellation is terminal:
+    the batch executor never retries it, and the degradation ladder
+    never falls through it to a lower rung.
+    """
+
+    code = "cancelled"
+    exit_code = 9
+
+    def __init__(self, message: str, *, job_id: str | None = None,
+                 **kwargs: Any) -> None:
+        super().__init__(message, stage=kwargs.pop("stage", "cancel"),
+                         **kwargs)
+        self.job_id = job_id
+        if job_id is not None:
+            self.payload["job_id"] = job_id
+
+
+class ProtocolError(ReproError):
+    """A serve-protocol request was malformed or violated framing.
+
+    Raised by the daemon's request decoder (oversized line, invalid
+    JSON, unknown op, missing/mistyped fields) and by the client when a
+    response cannot be decoded.  Protocol errors never kill the
+    connection's peer jobs — they turn into ``ok: false`` responses.
+    """
+
+    code = "protocol"
+    exit_code = EXIT_FAILURE
+
+    def __init__(self, message: str, *, op: str | None = None,
+                 **kwargs: Any) -> None:
+        super().__init__(message, stage=kwargs.pop("stage", "protocol"),
+                         **kwargs)
+        self.op = op
+        if op is not None:
+            self.payload["op"] = op
+
+
 #: code string -> process exit code, including non-exception kinds the
 #: executor reports (``timeout``, worker ``crash``).
 EXIT_CODES: dict[str, int] = {
@@ -226,6 +271,8 @@ EXIT_CODES: dict[str, int] = {
     LegalizationError.code: LegalizationError.exit_code,
     "timeout": 7,
     CacheCorruptionError.code: CacheCorruptionError.exit_code,
+    JobCancelledError.code: JobCancelledError.exit_code,
+    ProtocolError.code: ProtocolError.exit_code,
 }
 
 

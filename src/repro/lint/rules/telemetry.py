@@ -17,6 +17,12 @@ from ..registry import Rule, register
 
 _TELEMETRY_HOME = {"repro/runtime/telemetry.py"}
 
+#: directory whose request handlers must each open a span (TEL03).
+_SERVE_PREFIX = "repro/serve/"
+
+#: serve-layer request handlers are named `_handle_<op>` by convention.
+_HANDLER_PREFIX = "_handle_"
+
 
 @register
 class SpanOutsideWith(Rule):
@@ -67,3 +73,45 @@ class RawPhaseHandle(Rule):
                         self.id, node,
                         "PhaseHandle constructed directly; spans must "
                         "come from tracer.phase()")
+
+
+@register
+class HandlerWithoutSpan(Rule):
+    id = "TEL03"
+    summary = "serve request handler without a tracer span"
+    invariant = ("Every daemon request handler (a `_handle_<op>` "
+                 "function under repro/serve/) opens a tracer phase, so "
+                 "the service trace accounts for all request latency — "
+                 "an uninstrumented op is invisible in `stats` and in "
+                 "the JSONL trace.")
+    fix = ("Wrap the handler body in `with self.tracer.phase("
+           "\"serve.<op>\"):`.")
+
+    def check(self, ctx: FileContext) -> Iterable[Finding]:
+        if not ctx.relpath.startswith(_SERVE_PREFIX):
+            return
+        for node in ctx.walk():
+            if not isinstance(node, (ast.FunctionDef,
+                                     ast.AsyncFunctionDef)):
+                continue
+            if not node.name.startswith(_HANDLER_PREFIX):
+                continue
+            if not self._opens_span(node):
+                yield ctx.finding(
+                    self.id, node,
+                    f"request handler {node.name}() never opens a "
+                    "tracer phase; wrap its body in "
+                    "`with self.tracer.phase(...)`")
+
+    @staticmethod
+    def _opens_span(func: ast.AST) -> bool:
+        for node in ast.walk(func):
+            if not isinstance(node, (ast.With, ast.AsyncWith)):
+                continue
+            for item in node.items:
+                call = item.context_expr
+                if (isinstance(call, ast.Call)
+                        and isinstance(call.func, ast.Attribute)
+                        and call.func.attr == "phase"):
+                    return True
+        return False

@@ -25,7 +25,9 @@ from importlib import import_module
 # cheap.
 _EXPORTS = {
     "ArtifactCache": ".cache",
+    "ShardedArtifactCache": ".cache",
     "apply_positions": ".cache",
+    "cache_from_spec": ".cache",
     "canonical_options": ".cache",
     "job_key": ".cache",
     "netlist_fingerprint": ".cache",
@@ -66,9 +68,11 @@ __all__ = [
     "JsonlTraceWriter",
     "PhaseHandle",
     "PlacementJob",
+    "ShardedArtifactCache",
     "SuiteResult",
     "Tracer",
     "apply_positions",
+    "cache_from_spec",
     "canonical_options",
     "execute_job",
     "job_key",

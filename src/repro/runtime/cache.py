@@ -30,10 +30,13 @@ import dataclasses
 import hashlib
 import json
 import os
+import threading
+from collections import OrderedDict
 from pathlib import Path
+from typing import Iterator
 
 from ..core import PlacerOptions
-from ..errors import CacheCorruptionError
+from ..errors import CacheCorruptionError, OptionsError
 from ..netlist import Netlist
 from ..robust.faults import fault_fires
 from .telemetry import Tracer
@@ -132,10 +135,18 @@ class ArtifactCache:
 
     def __init__(self, root: str | Path) -> None:
         self.root = Path(root)
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self.corrupt = 0
 
     def path(self, key: str) -> Path:
         # two-level fanout keeps directories small for big suites
         return self.root / key[:2] / f"{key}.json"
+
+    def spec(self) -> dict:
+        """Picklable recipe for rebuilding this cache in a pool worker."""
+        return {"kind": "plain", "root": str(self.root)}
 
     def get(self, key: str, *, tracer: Tracer | None = None) -> dict | None:
         """The stored artifact payload, or None on miss.
@@ -145,13 +156,20 @@ class ArtifactCache:
         decoding error or consuming damaged positions.
         """
         try:
-            return self.load_verified(key)
+            payload = self.load_verified(key)
         except CacheCorruptionError as exc:
+            self.corrupt += 1
             self.evict(key)
             if tracer is not None:
                 tracer.incr("cache.corrupt")
+                tracer.incr("cache.eviction")
                 tracer.error(exc, key=key)
             return None
+        if payload is None:
+            self.misses += 1
+        else:
+            self.hits += 1
+        return payload
 
     def load_verified(self, key: str) -> dict | None:
         """Strict read: the payload, None on miss, or raises
@@ -202,17 +220,211 @@ class ArtifactCache:
         """Drop one entry (used for corrupt reads); missing is fine."""
         try:
             self.path(key).unlink()
+            self.evictions += 1
         except (FileNotFoundError, OSError):
             pass
 
     def __contains__(self, key: str) -> bool:
         return self.path(key).exists()
 
+    def _artifact_paths(self) -> Iterator[Path]:
+        """Every stored artifact file (layout-specific glob)."""
+        if self.root.exists():
+            yield from self.root.glob("*/*.json")
+
+    def stats(self) -> dict:
+        """Instance counters plus on-disk usage, JSON-ready.
+
+        ``hits``/``misses``/``evictions``/``corrupt`` count this
+        instance's activity; ``entries``/``bytes`` scan the directory so
+        they reflect every writer that shares the path.
+        """
+        entries = 0
+        total = 0
+        for path in self._artifact_paths():
+            try:
+                total += path.stat().st_size
+                entries += 1
+            except OSError:
+                continue
+        return {"entries": entries, "bytes": total, "hits": self.hits,
+                "misses": self.misses, "evictions": self.evictions,
+                "corrupt": self.corrupt}
+
     def clear(self) -> int:
         """Delete every artifact; returns the number removed."""
         removed = 0
-        if self.root.exists():
-            for path in self.root.glob("*/*.json"):
-                path.unlink()
-                removed += 1
+        for path in self._artifact_paths():
+            path.unlink()
+            removed += 1
         return removed
+
+
+class ShardedArtifactCache(ArtifactCache):
+    """Keyspace-sharded artifact cache with LRU byte-budget eviction.
+
+    The keyspace splits into ``shards`` directories (``shard00/…``) by
+    the leading bytes of the key, so tenants sharing a daemon spread
+    their artifacts over independent directories with independent
+    eviction pressure and per-shard hit/miss/eviction counters.  When
+    ``max_bytes`` is set, each shard holds at most ``max_bytes/shards``
+    bytes: a :meth:`put` that pushes a shard over budget evicts its
+    least-recently-used entries (reads refresh recency; the file mtime
+    is touched on hit so the LRU order survives restarts).
+
+    All verification/atomicity discipline is inherited from
+    :class:`ArtifactCache` — only the layout, the eviction policy, and
+    the accounting differ.
+    """
+
+    def __init__(self, root: str | Path, *, shards: int = 8,
+                 max_bytes: int | None = None) -> None:
+        super().__init__(root)
+        if shards < 1:
+            raise OptionsError(f"shards must be >= 1, got {shards}",
+                               option="shards")
+        if max_bytes is not None and max_bytes <= 0:
+            raise OptionsError(
+                f"max_bytes must be positive when set, got {max_bytes}",
+                option="max_bytes")
+        self.shards = shards
+        self.max_bytes = max_bytes
+        self._lock = threading.RLock()
+        # per shard: key -> size in LRU order (oldest first); built
+        # lazily from the directory so restarts keep evicting correctly
+        self._index: list[OrderedDict[str, int]] | None = None
+        self._shard_counters = [
+            {"hits": 0, "misses": 0, "evictions": 0, "corrupt": 0}
+            for _ in range(shards)]
+
+    def spec(self) -> dict:
+        return {"kind": "sharded", "root": str(self.root),
+                "shards": self.shards, "max_bytes": self.max_bytes}
+
+    def shard_of(self, key: str) -> int:
+        """Shard index for a key (stable across processes/restarts)."""
+        return int(key[:8], 16) % self.shards
+
+    def path(self, key: str) -> Path:
+        shard = self.shard_of(key)
+        return self.root / f"shard{shard:02d}" / key[:2] / f"{key}.json"
+
+    def _artifact_paths(self) -> Iterator[Path]:
+        if self.root.exists():
+            yield from self.root.glob("shard*/*/*.json")
+
+    # -- LRU index -----------------------------------------------------
+    def _ensure_index(self) -> list[OrderedDict[str, int]]:
+        if self._index is None:
+            index: list[OrderedDict[str, int]] = [
+                OrderedDict() for _ in range(self.shards)]
+            stamped = []
+            for path in self._artifact_paths():
+                try:
+                    stat = path.stat()
+                except OSError:
+                    continue
+                stamped.append((stat.st_mtime, path.stem, stat.st_size))
+            for _, key, size in sorted(stamped):
+                index[self.shard_of(key)][key] = size
+            self._index = index
+        return self._index
+
+    def _touch(self, key: str) -> None:
+        """Refresh a key's recency (index order + file mtime)."""
+        with self._lock:
+            shard = self._ensure_index()[self.shard_of(key)]
+            if key in shard:
+                shard.move_to_end(key)
+        try:
+            os.utime(self.path(key))
+        except OSError:
+            pass
+
+    # -- counted operations --------------------------------------------
+    def get(self, key: str, *, tracer: Tracer | None = None) -> dict | None:
+        before = (self.hits, self.corrupt)
+        payload = super().get(key, tracer=tracer)
+        counters = self._shard_counters[self.shard_of(key)]
+        if self.corrupt > before[1]:
+            counters["corrupt"] += 1
+        elif payload is None:
+            counters["misses"] += 1
+        else:
+            counters["hits"] += 1
+            self._touch(key)
+        return payload
+
+    def put(self, key: str, artifact: dict) -> Path:
+        path = super().put(key, artifact)
+        try:
+            size = path.stat().st_size
+        except OSError:
+            size = 0
+        with self._lock:
+            shard = self._ensure_index()[self.shard_of(key)]
+            shard[key] = size
+            shard.move_to_end(key)
+            self._evict_over_budget(self.shard_of(key), keep=key)
+        return path
+
+    def evict(self, key: str) -> None:
+        before = self.evictions
+        super().evict(key)
+        if self.evictions > before:
+            self._shard_counters[self.shard_of(key)]["evictions"] += 1
+            with self._lock:
+                self._ensure_index()[self.shard_of(key)].pop(key, None)
+
+    def _evict_over_budget(self, shard_idx: int, *, keep: str) -> None:
+        """Drop LRU entries until the shard fits its byte budget."""
+        if self.max_bytes is None:
+            return
+        budget = max(self.max_bytes // self.shards, 1)
+        shard = self._ensure_index()[shard_idx]
+        while sum(shard.values()) > budget and len(shard) > 1:
+            oldest = next(iter(shard))
+            if oldest == keep:
+                shard.move_to_end(oldest)
+                oldest = next(iter(shard))
+                if oldest == keep:
+                    break
+            self.evict(oldest)
+            shard.pop(oldest, None)
+
+    def stats(self) -> dict:
+        overall = super().stats()
+        per_shard = []
+        with self._lock:
+            index = self._ensure_index()
+            for idx in range(self.shards):
+                counters = self._shard_counters[idx]
+                per_shard.append({
+                    "shard": idx,
+                    "entries": len(index[idx]),
+                    "bytes": sum(index[idx].values()),
+                    **counters,
+                })
+        overall["shards"] = self.shards
+        overall["max_bytes"] = self.max_bytes
+        overall["per_shard"] = per_shard
+        return overall
+
+
+def cache_from_spec(spec: dict | None) -> ArtifactCache | None:
+    """Rebuild a cache from :meth:`ArtifactCache.spec` (pool workers).
+
+    Pool workers must open the *same layout* the parent uses — a plain
+    cache reading a sharded directory (or vice versa) would miss every
+    artifact the other wrote.
+    """
+    if spec is None:
+        return None
+    kind = spec.get("kind", "plain")
+    if kind == "plain":
+        return ArtifactCache(spec["root"])
+    if kind == "sharded":
+        return ShardedArtifactCache(spec["root"],
+                                    shards=int(spec.get("shards", 8)),
+                                    max_bytes=spec.get("max_bytes"))
+    raise OptionsError(f"unknown cache spec kind {kind!r}", option="kind")

@@ -34,7 +34,8 @@ from ..errors import error_kind
 from ..eval import evaluate_placement
 from ..gen import build_design
 from ..robust.checkpoint import CheckpointStore
-from .cache import ArtifactCache, job_key, snapshot_positions
+from .cache import ArtifactCache, cache_from_spec, job_key, \
+    snapshot_positions
 from .jobs import JobResult, PlacementJob
 from .telemetry import Tracer
 
@@ -152,15 +153,27 @@ def execute_job(job: PlacementJob, *, cache: ArtifactCache | None = None,
     return result
 
 
-def _worker_execute(job: PlacementJob, cache_root: str | None,
+def _worker_execute(job: PlacementJob, cache_spec: dict | None,
                     checkpoint_root: str | None = None,
-                    fallback: bool = True) -> JobResult:
-    """Top-level pool target (must be picklable by name)."""
-    cache = ArtifactCache(cache_root) if cache_root else None
+                    fallback: bool = True,
+                    submitted_s: float | None = None) -> JobResult:
+    """Top-level pool target (must be picklable by name).
+
+    ``submitted_s`` is the parent's tracer-clock stamp at submission;
+    the delta to this worker's first clock reading is the job's queue
+    wait (perf_counter is CLOCK_MONOTONIC on Linux, shared across
+    processes — the only platform the pool runtime targets).
+    """
+    tracer = Tracer()
+    queue_wait_s = max(tracer.clock() - submitted_s, 0.0) \
+        if submitted_s is not None else 0.0
+    cache = cache_from_spec(cache_spec)
     checkpoints = CheckpointStore(checkpoint_root) if checkpoint_root \
         else None
-    return execute_job(job, cache=cache, checkpoints=checkpoints,
-                       fallback=fallback)
+    result = execute_job(job, cache=cache, tracer=tracer,
+                         checkpoints=checkpoints, fallback=fallback)
+    result.queue_wait_s = queue_wait_s
+    return result
 
 
 class BatchExecutor:
@@ -206,14 +219,20 @@ class BatchExecutor:
             if result.status == "error":
                 tracer.incr("executor.failures")
             tracer.merge(result.events, result.counters)
+            # queue-wait (submit -> start) was previously unobservable;
+            # surface it as a per-job telemetry row
+            tracer.event("queue_wait", job=result.job.label,
+                         wait_s=result.queue_wait_s)
         return results
 
     # ------------------------------------------------------------------
     def _run_serial(self, jobs: list[PlacementJob],
                     tracer: Tracer) -> list[JobResult]:
         results = []
+        submitted_s = tracer.clock()
         for job in jobs:
             attempts = 0
+            queue_wait_s = max(tracer.clock() - submitted_s, 0.0)
             while True:
                 attempts += 1
                 try:
@@ -226,26 +245,30 @@ class BatchExecutor:
                 # records with error_kind. repro-lint: disable=NUM03
                 except Exception as exc:
                     tracer.error(exc, job=job.label)
-                    if attempts > self.retries:
+                    kind = error_kind(exc)
+                    # cancellation is terminal by contract — rerunning a
+                    # cancelled job would override the caller's decision
+                    if attempts > self.retries or kind == "cancelled":
                         result = JobResult(job=job, status="error",
                                            attempts=attempts,
                                            error=str(exc) or repr(exc),
-                                           error_kind=error_kind(exc))
+                                           error_kind=kind)
                         break
                     tracer.incr("executor.retry")
+            result.queue_wait_s = queue_wait_s
             results.append(result)
         return results
 
     def _run_parallel(self, jobs: list[PlacementJob],
                       tracer: Tracer) -> list[JobResult]:
-        cache_root = str(self.cache.root) if self.cache else None
+        cache_spec = self.cache.spec() if self.cache else None
         ckpt_root = str(self.checkpoints.root) if self.checkpoints \
             else None
 
         def submit(pool: cf.ProcessPoolExecutor,
                    job: PlacementJob) -> cf.Future:
-            return pool.submit(_worker_execute, job, cache_root,
-                               ckpt_root, self.fallback)
+            return pool.submit(_worker_execute, job, cache_spec,
+                               ckpt_root, self.fallback, tracer.clock())
 
         def rebuild(pool: cf.ProcessPoolExecutor, after: int,
                     pending: dict[int, cf.Future]
@@ -297,7 +320,7 @@ class BatchExecutor:
                     except Exception as exc:
                         error = str(exc) or repr(exc)
                         kind = error_kind(exc)
-                    if attempts > self.retries:
+                    if attempts > self.retries or kind == "cancelled":
                         result = JobResult(job=job, status="error",
                                            attempts=attempts, error=error,
                                            error_kind=kind)

@@ -66,6 +66,9 @@ class JobResult:
     :class:`~repro.robust.fallback.DegradationReport` dict when the
     fallback ladder ran; ``resumed_iteration`` is nonzero when global
     placement resumed from a checkpoint instead of cold-starting.
+    ``queue_wait_s`` is the submit→start latency the executor (or the
+    serve daemon) measured for this job — execution time is in
+    ``runtime_s``, so total latency is their sum.
     """
 
     job: PlacementJob
@@ -76,6 +79,7 @@ class JobResult:
     error_kind: str | None = None
     degradation: dict | None = None
     resumed_iteration: int = 0
+    queue_wait_s: float = 0.0
     key: str | None = None
     placer_name: str = ""                   # display name, e.g. "baseline"
     hpwl_gp: float = 0.0

@@ -35,6 +35,7 @@ class SuiteResult:
     tracer: Tracer
     trace_path: Path | None = None
     counters: dict[str, int] = field(default_factory=dict)
+    cache_stats: dict | None = None
 
     def __post_init__(self) -> None:
         if not self.counters:
@@ -120,4 +121,18 @@ def run_suite(designs: Sequence[str] | None = None,
     written = None
     if trace_path is not None:
         written = write_trace(trace_path, tracer)
-    return SuiteResult(results=results, tracer=tracer, trace_path=written)
+    cache_stats = None
+    if cache is not None:
+        cache_stats = cache.stats()
+        # parallel workers probe their own cache instances, so fold the
+        # merged tracer counters in (serial runs: identical numbers)
+        cache_stats["hits"] = max(cache_stats["hits"],
+                                  tracer.count("cache.hit"))
+        cache_stats["misses"] = max(cache_stats["misses"],
+                                    tracer.count("cache.miss"))
+        cache_stats["evictions"] = max(cache_stats["evictions"],
+                                       tracer.count("cache.eviction"))
+        cache_stats["corrupt"] = max(cache_stats["corrupt"],
+                                     tracer.count("cache.corrupt"))
+    return SuiteResult(results=results, tracer=tracer, trace_path=written,
+                       cache_stats=cache_stats)

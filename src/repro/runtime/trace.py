@@ -35,6 +35,10 @@ class JsonlTraceWriter:
             self.write({"kind": "counter", "name": name,
                         "value": tracer.counters[name]})
 
+    def flush(self) -> None:
+        """Push buffered rows to disk (live-tail support for serve)."""
+        self._fh.flush()
+
     def close(self) -> None:
         self._fh.close()
 

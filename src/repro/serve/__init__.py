@@ -1,0 +1,46 @@
+"""repro.serve — placement-as-a-service over a local socket.
+
+The daemon (:mod:`~repro.serve.daemon`) fronts the batch runtime with a
+newline-delimited-JSON protocol (:mod:`~repro.serve.protocol`), a
+persistent bounded priority queue (:mod:`~repro.serve.queue`), worker
+threads bridging into :class:`~repro.runtime.executor.BatchExecutor`
+(:mod:`~repro.serve.workers`), and live service metrics
+(:mod:`~repro.serve.metrics`).  :mod:`~repro.serve.client` is the
+synchronous client the CLI and tests use.
+
+Lazy imports keep ``import repro.serve`` cheap; see
+:mod:`repro.runtime` for the same pattern.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+_EXPORTS = {
+    "PROTOCOL_VERSION": ".protocol",
+    "MAX_LINE_BYTES": ".protocol",
+    "ServeConfig": ".daemon",
+    "PlacementDaemon": ".daemon",
+    "JobQueue": ".queue",
+    "JobJournal": ".queue",
+    "QueuedJob": ".queue",
+    "QueueFullError": ".queue",
+    "DaemonStoppingError": ".queue",
+    "ServiceMetrics": ".metrics",
+    "WorkerBridge": ".workers",
+    "ServeClient": ".client",
+    "ServeError": ".client",
+    "wait_ready": ".client",
+}
+
+__all__ = sorted(_EXPORTS)
+
+
+def __getattr__(name: str) -> Any:
+    module_name = _EXPORTS.get(name)
+    if module_name is None:
+        raise AttributeError(
+            f"module 'repro.serve' has no attribute {name!r}")
+    import importlib
+    module = importlib.import_module(module_name, __name__)
+    return getattr(module, name)

@@ -1,0 +1,150 @@
+"""Live service metrics: throughput, latency percentiles, cache rates.
+
+:class:`ServiceMetrics` aggregates the per-job spans the worker bridge
+and the submit fast-path record (queue-wait, cache-probe, execute,
+total) into the ``stats`` response: jobs by outcome, throughput over
+the daemon's lifetime, latency percentiles split warm (cache hit) vs
+executed, degradation-rung counts, and error-kind counts.  Latency
+reservoirs are bounded rings so a week-long daemon answers ``stats``
+in O(ring) regardless of how many jobs it has served.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+from typing import TYPE_CHECKING, Callable
+
+from . import protocol
+
+if TYPE_CHECKING:  # import cycle guard: queue imports nothing from here
+    from .queue import QueuedJob
+
+#: jobs kept per latency reservoir (newest wins).
+RING_SIZE = 4096
+
+
+def percentile(values: list[float], q: float) -> float:
+    """Nearest-rank percentile (q in [0, 100]); 0.0 for empty input."""
+    if not values:
+        return 0.0
+    ordered = sorted(values)
+    rank = max(math.ceil(q / 100.0 * len(ordered)), 1)
+    return ordered[min(rank, len(ordered)) - 1]
+
+
+class _Ring:
+    """Fixed-size append-only sample reservoir (newest RING_SIZE kept)."""
+
+    def __init__(self, size: int = RING_SIZE) -> None:
+        self.size = size
+        self._values: list[float] = []
+        self._next = 0
+
+    def add(self, value: float) -> None:
+        if len(self._values) < self.size:
+            self._values.append(value)
+        else:
+            self._values[self._next] = value
+            self._next = (self._next + 1) % self.size
+
+    def snapshot(self) -> list[float]:
+        return list(self._values)
+
+    def summary(self) -> dict:
+        values = self.snapshot()
+        return {
+            "count": len(values),
+            "p50_ms": round(percentile(values, 50) * 1e3, 3),
+            "p90_ms": round(percentile(values, 90) * 1e3, 3),
+            "p99_ms": round(percentile(values, 99) * 1e3, 3),
+        }
+
+
+class ServiceMetrics:
+    """Thread-safe aggregation of finished-job telemetry."""
+
+    def __init__(self, clock: Callable[[], float]) -> None:
+        self._clock = clock
+        self.started_s = clock()
+        self._lock = threading.Lock()
+        self.submitted = 0
+        self.rejected = 0
+        self.by_state = {state: 0 for state in protocol.TERMINAL_STATES}
+        self.cache_hits = 0
+        self.cache_misses = 0
+        self.degraded = 0
+        self.rungs: dict[str, int] = {}
+        self.errors: dict[str, int] = {}
+        self._total = _Ring()
+        self._warm = _Ring()
+        self._execute = _Ring()
+        self._queue_wait = _Ring()
+
+    # -- recording -----------------------------------------------------
+    def record_submitted(self) -> None:
+        with self._lock:
+            self.submitted += 1
+
+    def record_rejected(self) -> None:
+        with self._lock:
+            self.rejected += 1
+
+    def record_finished(self, record: "QueuedJob") -> None:
+        """Fold one terminal job into the aggregates."""
+        with self._lock:
+            self.by_state[record.state] = \
+                self.by_state.get(record.state, 0) + 1
+            if record.cached:
+                self.cache_hits += 1
+            elif record.state == protocol.DONE:
+                self.cache_misses += 1
+            if record.error_kind:
+                self.errors[record.error_kind] = \
+                    self.errors.get(record.error_kind, 0) + 1
+            result = record.result
+            if result is not None and result.degraded:
+                self.degraded += 1
+                rung = str((result.degradation or {}).get("succeeded"))
+                self.rungs[rung] = self.rungs.get(rung, 0) + 1
+            total = record.spans.get("total")
+            if total is not None:
+                self._total.add(total)
+                if record.cached:
+                    self._warm.add(total)
+            execute = record.spans.get("execute")
+            if execute is not None:
+                self._execute.add(execute)
+            wait = record.spans.get("queue_wait")
+            if wait is not None:
+                self._queue_wait.add(wait)
+
+    # -- reporting -----------------------------------------------------
+    def snapshot(self) -> dict:
+        """JSON-ready stats block (the ``stats`` response core)."""
+        with self._lock:
+            uptime_s = max(self._clock() - self.started_s, 1e-9)
+            finished = sum(self.by_state.values())
+            probes = self.cache_hits + self.cache_misses
+            return {
+                "uptime_s": round(uptime_s, 3),
+                "submitted": self.submitted,
+                "rejected": self.rejected,
+                "finished": dict(sorted(self.by_state.items())),
+                "throughput_per_s": round(finished / uptime_s, 3),
+                "cache": {
+                    "hits": self.cache_hits,
+                    "misses": self.cache_misses,
+                    "hit_rate": round(self.cache_hits / probes, 4)
+                    if probes else 0.0,
+                },
+                "degraded": self.degraded,
+                "rungs": dict(sorted(self.rungs.items())),
+                "errors": dict(sorted(self.errors.items())),
+                "latency": {
+                    "total": self._total.summary(),
+                    "warm": self._warm.summary(),
+                    "execute": self._execute.summary(),
+                    "queue_wait": self._queue_wait.summary(),
+                },
+            }

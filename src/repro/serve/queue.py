@@ -1,0 +1,394 @@
+"""Persistent priority job queue with bounded admission.
+
+:class:`JobQueue` is the daemon's spine: the asyncio front end submits
+:class:`QueuedJob` records into it, worker-bridge threads pop them in
+priority order, and every state transition is appended to a
+:class:`JobJournal` so a daemon restart re-enqueues accepted-but-
+unfinished work — the "loses no accepted job" guarantee.
+
+Admission is bounded: once ``max_pending`` jobs are queued-or-running
+the next submit raises :class:`QueueFullError` and the client sees an
+``ok: false`` response with ``error_kind: "backpressure"`` — explicit
+backpressure instead of unbounded memory growth under a traffic spike.
+
+Priorities are integers, higher first; ties resolve in submission
+order, so equal-priority traffic is strictly FIFO (deterministic, no
+starvation within a priority band).
+"""
+
+from __future__ import annotations
+
+import heapq
+import json
+import threading
+from pathlib import Path
+from typing import Any, Callable, Iterator
+
+from ..errors import OptionsError, ReproError
+from ..runtime.cache import canonical_options
+from ..runtime.jobs import JobResult, PlacementJob
+from . import protocol
+
+
+class QueueFullError(ReproError):
+    """Admission rejected a submit: the daemon is at capacity."""
+
+    code = "backpressure"
+
+    def __init__(self, message: str, *, pending: int | None = None,
+                 **kwargs: Any) -> None:
+        super().__init__(message, stage=kwargs.pop("stage", "admit"),
+                         **kwargs)
+        if pending is not None:
+            self.payload["pending"] = pending
+
+
+class DaemonStoppingError(ReproError):
+    """Admission rejected a submit: the daemon is shutting down."""
+
+    code = "stopping"
+
+    def __init__(self, message: str, **kwargs: Any) -> None:
+        super().__init__(message, stage=kwargs.pop("stage", "admit"),
+                         **kwargs)
+
+
+class QueuedJob:
+    """One accepted job and everything the daemon tracks about it.
+
+    Span fields (``queue_wait_s``, ``cache_probe_s``, ``execute_s``,
+    ``total_s``) are filled as the job moves through the pipeline and
+    feed the live stats aggregation.
+    """
+
+    __slots__ = ("job_id", "job", "priority", "state", "cached",
+                 "submitted_s", "started_s", "finished_s", "result",
+                 "error", "error_kind", "cancel", "done", "spans")
+
+    def __init__(self, job_id: str, job: PlacementJob, *,
+                 priority: int = 0, submitted_s: float = 0.0) -> None:
+        self.job_id = job_id
+        self.job = job
+        self.priority = priority
+        self.state = protocol.QUEUED
+        self.cached = False
+        self.submitted_s = submitted_s
+        self.started_s = 0.0
+        self.finished_s = 0.0
+        self.result: JobResult | None = None
+        self.error: str | None = None
+        self.error_kind: str | None = None
+        self.cancel = threading.Event()
+        self.done = threading.Event()
+        self.spans: dict[str, float] = {}
+
+    @property
+    def terminal(self) -> bool:
+        return self.state in protocol.TERMINAL_STATES
+
+    def describe(self) -> dict:
+        """Status-response payload (no positions — those are opt-in)."""
+        info: dict[str, Any] = {
+            "job_id": self.job_id,
+            "state": self.state,
+            "design": self.job.design,
+            "placer": self.job.placer,
+            "seed": self.job.seed,
+            "priority": self.priority,
+            "cached": self.cached,
+            "spans": {name: round(value, 6)
+                      for name, value in sorted(self.spans.items())},
+        }
+        if self.error is not None:
+            info["error"] = self.error
+            info["error_kind"] = self.error_kind or "other"
+        result = self.result
+        if result is not None and result.ok:
+            info["hpwl"] = result.hpwl_final
+            info["legal"] = result.legal
+            if result.degradation and result.degradation.get("degraded"):
+                info["rung"] = result.degradation.get("succeeded")
+        return info
+
+
+class JobJournal:
+    """Append-only JSONL ledger of accepted and finished jobs.
+
+    ``accept`` rows carry everything needed to rebuild the
+    :class:`~repro.runtime.jobs.PlacementJob`; ``finish`` rows mark the
+    terminal state.  :meth:`replay` returns accepted-without-finish
+    submissions — exactly the jobs a restarted daemon must re-enqueue.
+    """
+
+    def __init__(self, path: str | Path) -> None:
+        self.path = Path(path)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._fh = self.path.open("a", encoding="utf-8")
+        self._lock = threading.Lock()
+
+    def _write(self, record: dict) -> None:
+        with self._lock:
+            self._fh.write(json.dumps(record, sort_keys=True) + "\n")
+            self._fh.flush()
+
+    def accept(self, record: QueuedJob) -> None:
+        options = record.job.options
+        self._write({
+            "event": "accept",
+            "job_id": record.job_id,
+            "design": record.job.design,
+            "placer": record.job.placer,
+            "seed": record.job.seed,
+            "priority": record.priority,
+            "options": canonical_options(options)
+            if options is not None else None,
+        })
+
+    def finish(self, record: QueuedJob) -> None:
+        self._write({"event": "finish", "job_id": record.job_id,
+                     "state": record.state})
+
+    def close(self) -> None:
+        with self._lock:
+            self._fh.close()
+
+    @staticmethod
+    def replay(path: str | Path) -> list[dict]:
+        """Accepted-but-unfinished submissions, in acceptance order."""
+        journal_path = Path(path)
+        if not journal_path.exists():
+            return []
+        accepted: dict[str, dict] = {}
+        order: list[str] = []
+        with journal_path.open(encoding="utf-8") as fh:
+            for line in fh:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    record = json.loads(line)
+                except json.JSONDecodeError:
+                    continue  # torn tail write: everything before is good
+                job_id = record.get("job_id")
+                if record.get("event") == "accept" and job_id:
+                    accepted[job_id] = record
+                    order.append(job_id)
+                elif record.get("event") == "finish" and job_id:
+                    accepted.pop(job_id, None)
+        return [accepted[j] for j in order if j in accepted]
+
+
+class JobQueue:
+    """Thread-safe priority queue + job registry for the daemon.
+
+    Args:
+        max_pending: bounded-admission cap on queued+running jobs.
+        clock: monotonic time source (the daemon tracer's clock, so
+            every span in the system shares one clock).
+        journal: persistence sink; None disables durability.
+    """
+
+    def __init__(self, *, max_pending: int = 2048,
+                 clock: Callable[[], float],
+                 journal: JobJournal | None = None) -> None:
+        if max_pending < 1:
+            raise OptionsError(
+                f"max_pending must be >= 1, got {max_pending}",
+                option="max_pending")
+        self.max_pending = max_pending
+        self.clock = clock
+        self.journal = journal
+        self._cond = threading.Condition()
+        self._heap: list[tuple[int, int, str]] = []
+        self._records: dict[str, QueuedJob] = {}
+        self._seq = 0
+        self._accepting = True
+
+    # -- admission -----------------------------------------------------
+    def submit(self, job: PlacementJob, *, priority: int = 0,
+               job_id: str | None = None) -> QueuedJob:
+        """Admit one job; raises on backpressure or shutdown."""
+        with self._cond:
+            if not self._accepting:
+                raise DaemonStoppingError(
+                    "daemon is shutting down; submission rejected")
+            pending = sum(1 for r in self._records.values()
+                          if not r.terminal)
+            if pending >= self.max_pending:
+                raise QueueFullError(
+                    f"queue is full ({pending}/{self.max_pending} "
+                    "pending); retry later", pending=pending)
+            record = self._register(job, priority=priority, job_id=job_id)
+            self._heap_push(record)
+            self._cond.notify()
+        if self.journal is not None:
+            self.journal.accept(record)
+        return record
+
+    def register_finished(self, job: PlacementJob, result: JobResult, *,
+                          priority: int = 0, cached: bool = False,
+                          job_id: str | None = None) -> QueuedJob:
+        """Record a job that completed without queueing (warm cache)."""
+        with self._cond:
+            if not self._accepting:
+                raise DaemonStoppingError(
+                    "daemon is shutting down; submission rejected")
+            record = self._register(job, priority=priority, job_id=job_id)
+            record.state = protocol.DONE
+            record.cached = cached
+            record.result = result
+            record.started_s = record.submitted_s
+            record.finished_s = self.clock()
+            record.done.set()
+        if self.journal is not None:
+            self.journal.accept(record)
+            self.journal.finish(record)
+        return record
+
+    def _register(self, job: PlacementJob, *, priority: int,
+                  job_id: str | None) -> QueuedJob:
+        self._seq += 1
+        if job_id is None:
+            job_id = f"j{self._seq:06d}"
+        if job_id in self._records:
+            raise OptionsError(f"duplicate job id {job_id!r}",
+                               option="job_id")
+        record = QueuedJob(job_id, job, priority=priority,
+                           submitted_s=self.clock())
+        self._records[job_id] = record
+        return record
+
+    def _heap_push(self, record: QueuedJob) -> None:
+        heapq.heappush(self._heap,
+                       (-record.priority, self._seq, record.job_id))
+
+    # -- worker side ---------------------------------------------------
+    def pop(self, timeout: float | None = None) -> QueuedJob | None:
+        """Next queued job by (priority desc, FIFO), or None on timeout.
+
+        The returned record is already marked ``running``; entries
+        cancelled while queued are skipped (lazy heap deletion).
+        """
+        with self._cond:
+            while True:
+                while self._heap:
+                    _, _, job_id = heapq.heappop(self._heap)
+                    record = self._records[job_id]
+                    if record.state != protocol.QUEUED:
+                        continue  # cancelled while queued
+                    record.state = protocol.RUNNING
+                    record.started_s = self.clock()
+                    record.spans["queue_wait"] = \
+                        record.started_s - record.submitted_s
+                    return record
+                if not self._cond.wait(timeout=timeout):
+                    return None
+
+    def finish(self, record: QueuedJob, state: str, *,
+               result: JobResult | None = None,
+               error: str | None = None,
+               error_kind: str | None = None,
+               journal: bool = True) -> None:
+        """Move a running job to a terminal state and wake waiters.
+
+        ``journal=False`` leaves the job "accepted" in the journal — the
+        immediate-shutdown path uses it so interrupted (checkpointed)
+        jobs replay on the next start instead of being forgotten.
+        """
+        with self._cond:
+            record.state = state
+            record.result = result
+            record.error = error
+            record.error_kind = error_kind
+            record.finished_s = self.clock()
+            record.spans["total"] = \
+                record.finished_s - record.submitted_s
+            record.done.set()
+            self._cond.notify_all()
+        if journal and self.journal is not None:
+            self.journal.finish(record)
+
+    # -- control plane -------------------------------------------------
+    @property
+    def accepting(self) -> bool:
+        with self._cond:
+            return self._accepting
+
+    def reserve_seq(self, seq: int) -> None:
+        """Advance the id sequence past journal-replayed job ids."""
+        with self._cond:
+            self._seq = max(self._seq, seq)
+
+    def get(self, job_id: str) -> QueuedJob | None:
+        with self._cond:
+            return self._records.get(job_id)
+
+    def cancel(self, job_id: str) -> tuple[str, QueuedJob] | None:
+        """Cancel a job; returns (state-at-cancel-time, record) or None.
+
+        Queued jobs become terminal immediately; running jobs get their
+        cancel token set — the worker bridge interrupts them at the next
+        checkpoint boundary (best-effort: a rung with no checkpoint hook
+        runs to completion and is then discarded as cancelled).
+        """
+        with self._cond:
+            record = self._records.get(job_id)
+            if record is None:
+                return None
+            state = record.state
+            if state == protocol.QUEUED:
+                record.state = protocol.CANCELLED
+                record.finished_s = self.clock()
+                record.spans["total"] = \
+                    record.finished_s - record.submitted_s
+                record.done.set()
+                self._cond.notify_all()
+            elif state == protocol.RUNNING:
+                record.cancel.set()
+            else:
+                return state, record
+        if state == protocol.QUEUED and self.journal is not None:
+            self.journal.finish(record)
+        return state, record
+
+    def stop_admission(self) -> None:
+        with self._cond:
+            self._accepting = False
+            self._cond.notify_all()
+
+    def cancel_all_queued(self) -> list[QueuedJob]:
+        """Immediate-shutdown helper: mark queued work cancelled in
+        memory but keep it "accepted" in the journal for replay."""
+        cancelled = []
+        with self._cond:
+            for record in self._records.values():
+                if record.state == protocol.QUEUED:
+                    record.state = protocol.CANCELLED
+                    record.finished_s = self.clock()
+                    record.done.set()
+                    cancelled.append(record)
+            self._cond.notify_all()
+        return cancelled
+
+    def running(self) -> list[QueuedJob]:
+        with self._cond:
+            return [r for r in self._records.values()
+                    if r.state == protocol.RUNNING]
+
+    def counts(self) -> dict[str, int]:
+        """Job tally by state (for the stats response)."""
+        tally = {state: 0 for state in
+                 (protocol.QUEUED, protocol.RUNNING) +
+                 protocol.TERMINAL_STATES}
+        with self._cond:
+            for record in self._records.values():
+                tally[record.state] = tally.get(record.state, 0) + 1
+        return tally
+
+    def drained(self) -> bool:
+        with self._cond:
+            return all(r.terminal for r in self._records.values())
+
+    def records(self) -> Iterator[QueuedJob]:
+        with self._cond:
+            yield from list(self._records.values())

@@ -1,0 +1,209 @@
+"""Worker bridge: daemon threads driving the proven batch executor.
+
+Each bridge thread pops one :class:`~repro.serve.queue.QueuedJob` at a
+time and runs it through :class:`~repro.runtime.executor.BatchExecutor`
+— the exact engine ``repro-place run`` uses — so the daemon inherits
+the PR-1/PR-2 execution semantics wholesale: bit-identical results,
+degradation-ladder fallback, taxonomy ``error_kind`` reporting, and
+checkpoint/resume.  In ``pool`` mode every job runs in a single-worker
+process pool (full crash/timeout isolation); otherwise it runs serially
+inside the bridge thread (the executor's ``workers=0`` path, same
+results by construction).
+
+Cancellation rides the checkpoint hook:
+:class:`CancellableCheckpointStore` wraps the daemon's checkpoint store
+with the job's cancel token, and the recorder it hands the engine
+forces a final snapshot to disk and raises
+:class:`~repro.errors.JobCancelledError` the next time the
+global-placement loop checkpoints.  The executor reports the
+cancellation terminally (never retried, never degraded past), and the
+snapshot survives — a resubmitted job resumes instead of cold-starting.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Callable
+
+import numpy as np
+
+from ..errors import JobCancelledError
+from ..robust.checkpoint import CheckpointRecorder, CheckpointStore
+from ..runtime.cache import ArtifactCache
+from ..runtime.executor import BatchExecutor
+from ..runtime.telemetry import Tracer
+from . import protocol
+from .metrics import ServiceMetrics
+from .queue import JobQueue, QueuedJob
+
+
+class CancelAwareRecorder(CheckpointRecorder):
+    """Checkpoint hook that interrupts the engine once cancel is set.
+
+    The final forced save means "cancel a running job" still leaves a
+    resumable snapshot on disk even when the cancel lands between the
+    recorder's periodic saves.
+    """
+
+    def __init__(self, store: CheckpointStore, key: str, *,
+                 token: threading.Event, job_id: str,
+                 interval: int = 5) -> None:
+        super().__init__(store, key, interval=interval)
+        self.token = token
+        self.job_id = job_id
+
+    def __call__(self, iteration: int, x: np.ndarray, y: np.ndarray,
+                 stage: str = "global_place") -> None:
+        if self.token.is_set():
+            try:
+                self.store.save(self.key, iteration, x, y, stage=stage)
+                self.saved += 1
+            except OSError:
+                pass  # keep the previous snapshot; still cancel
+            raise JobCancelledError(
+                f"job cancelled at {stage} iteration {iteration}",
+                job_id=self.job_id)
+        super().__call__(iteration, x, y, stage=stage)
+
+
+class CancellableCheckpointStore(CheckpointStore):
+    """Checkpoint store whose recorders honour one job's cancel token.
+
+    ``clear`` is also gated: a cancelled job keeps its snapshot (that is
+    the point of cancelling with checkpoints on), while a job that ran
+    to completion clears it as usual.
+    """
+
+    def __init__(self, root: str, *, token: threading.Event,
+                 job_id: str, interval: int = 5) -> None:
+        super().__init__(root, interval=interval)
+        self.token = token
+        self.job_id = job_id
+
+    def recorder(self, key: str) -> CancelAwareRecorder:
+        return CancelAwareRecorder(self, key, token=self.token,
+                                   job_id=self.job_id,
+                                   interval=self.interval)
+
+    def clear(self, key: str) -> None:
+        if self.token.is_set():
+            return
+        super().clear(key)
+
+
+class WorkerBridge:
+    """Pool of daemon threads feeding jobs to the batch executor.
+
+    Args:
+        queue: the shared job queue.
+        workers: number of bridge threads (concurrent placements).
+        cache: shared artifact cache (hits recorded inside the
+            executor; the submit fast-path usually catches them first).
+        checkpoint_root: checkpoint directory; enables cancel-with-
+            snapshot and crash/timeout resume.
+        pool: run each job in a single-worker process pool instead of
+            in-thread (isolation at the cost of process startup).
+        timeout_s: per-job wall-clock budget (pool mode only).
+        retries: executor retry budget for crashing jobs.
+        fallback: run the degradation ladder (default).
+        clock: shared tracer clock.
+        metrics: live stats aggregation.
+        emit: callback receiving JSON-ready telemetry rows (the daemon
+            streams them to the JSONL trace); None drops them.
+    """
+
+    def __init__(self, queue: JobQueue, *, workers: int = 1,
+                 cache: ArtifactCache | None = None,
+                 checkpoint_root: str | None = None,
+                 pool: bool = False, timeout_s: float | None = None,
+                 retries: int = 1, fallback: bool = True,
+                 clock: Callable[[], float],
+                 metrics: ServiceMetrics,
+                 emit: Callable[[dict], None] | None = None) -> None:
+        self.queue = queue
+        self.workers = max(workers, 1)
+        self.cache = cache
+        self.checkpoint_root = checkpoint_root
+        self.pool = pool
+        self.timeout_s = timeout_s
+        self.retries = retries
+        self.fallback = fallback
+        self.clock = clock
+        self.metrics = metrics
+        self.emit = emit
+        self.requeue_cancelled = False
+        self._stop = threading.Event()
+        self._threads: list[threading.Thread] = []
+        self.counters: dict[str, int] = {}
+        self._counter_lock = threading.Lock()
+
+    # -- lifecycle -----------------------------------------------------
+    def start(self) -> None:
+        for idx in range(self.workers):
+            thread = threading.Thread(target=self._run, daemon=True,
+                                      name=f"repro-serve-worker-{idx}")
+            thread.start()
+            self._threads.append(thread)
+
+    def stop(self, *, join_timeout_s: float = 30.0) -> None:
+        self._stop.set()
+        for thread in self._threads:
+            thread.join(timeout=join_timeout_s)
+
+    def _run(self) -> None:
+        while not self._stop.is_set():
+            record = self.queue.pop(timeout=0.1)
+            if record is None:
+                continue
+            self._execute(record)
+
+    # -- execution -----------------------------------------------------
+    def _execute(self, record: QueuedJob) -> None:
+        checkpoints = None
+        if self.checkpoint_root is not None:
+            checkpoints = CancellableCheckpointStore(
+                self.checkpoint_root, token=record.cancel,
+                job_id=record.job_id)
+        executor = BatchExecutor(
+            workers=1 if self.pool else 0, cache=self.cache,
+            timeout_s=self.timeout_s, retries=self.retries,
+            checkpoints=checkpoints, fallback=self.fallback)
+        tracer = Tracer(clock=self.clock)
+        start_s = self.clock()
+        results = executor.run([record.job], tracer=tracer)
+        record.spans["execute"] = self.clock() - start_s
+        result = results[0]
+        # the service-level wait (accept -> pop) supersedes the
+        # executor's intra-batch measurement, which is ~0 here
+        result.queue_wait_s = record.spans.get("queue_wait", 0.0)
+
+        if result.ok:
+            state = protocol.DONE
+            record.cached = result.cached
+        elif result.error_kind == "cancelled" or record.cancel.is_set():
+            state = protocol.CANCELLED
+        else:
+            state = protocol.FAILED
+        journal = not (state == protocol.CANCELLED
+                       and self.requeue_cancelled)
+        self.queue.finish(record, state, result=result,
+                          error=result.error,
+                          error_kind=result.error_kind,
+                          journal=journal)
+        self.metrics.record_finished(record)
+        with self._counter_lock:
+            for name, value in tracer.counters.items():
+                self.counters[name] = self.counters.get(name, 0) + value
+        if self.emit is not None:
+            for event in tracer.events:
+                row = dict(event)
+                row["job_id"] = record.job_id
+                self.emit(row)
+            self.emit(job_row(record))
+
+
+def job_row(record: QueuedJob) -> dict:
+    """One summary telemetry row per finished job."""
+    row = {"kind": "job", **record.describe()}
+    row["attempts"] = record.result.attempts if record.result else 0
+    return row

@@ -113,9 +113,24 @@ class TestRunCommand:
         assert main(["run", "--designs", "dp_add8",
                      "--placer", "baseline", "--no-cache",
                      "--json"]) == 0
-        rows = json.loads(capsys.readouterr().out)
-        assert len(rows) == 1
-        assert rows[0]["cached"] is False
+        payload = json.loads(capsys.readouterr().out)
+        assert len(payload["rows"]) == 1
+        assert payload["rows"][0]["cached"] is False
+        assert payload["counters"]["executor.jobs"] == 1
+        assert payload["cache"] is None  # --no-cache
+
+    def test_run_json_cache_stats(self, capsys, tmp_path):
+        cache_dir = tmp_path / "cache"
+        for _ in range(2):
+            assert main(["run", "--designs", "dp_add8",
+                         "--placer", "baseline",
+                         "--cache-dir", str(cache_dir), "--json"]) == 0
+            out = capsys.readouterr().out
+        payload = json.loads(out)
+        cache = payload["cache"]
+        assert cache["entries"] == 1
+        assert cache["hits"] == 1  # warm rerun served from the cache
+        assert cache["bytes"] > 0
 
 
 class TestArgErrors:
@@ -208,6 +223,6 @@ class TestExitCodes:
                      "--checkpoint-dir", str(tmp_path / "ckpt"),
                      "--json"])
         assert code == 0
-        rows = json.loads(capsys.readouterr().out)
+        rows = json.loads(capsys.readouterr().out)["rows"]
         assert rows[0]["legal"] is True
         assert rows[0]["rung"] == "structure-relaxed"

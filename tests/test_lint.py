@@ -288,6 +288,49 @@ class TestTelemetryRules:
         assert not rule_hits(tmp_path, src, "TEL02",
                              rel="repro/runtime/telemetry.py")
 
+    def test_tel03_handler_without_span(self, tmp_path):
+        src = """\
+            class Daemon:
+                async def _handle_submit(self, message):
+                    return {"ok": True}
+            """
+        assert rule_hits(tmp_path, src, "TEL03",
+                         rel="repro/serve/daemon.py")
+
+    def test_tel03_handler_with_span_is_clean(self, tmp_path):
+        src = """\
+            class Daemon:
+                async def _handle_submit(self, message):
+                    with self.tracer.phase("serve.submit"):
+                        return {"ok": True}
+            """
+        assert not rule_hits(tmp_path, src, "TEL03",
+                             rel="repro/serve/daemon.py")
+
+    def test_tel03_sync_handler_also_checked(self, tmp_path):
+        src = """\
+            def _handle_stats(message):
+                return {}
+            """
+        assert rule_hits(tmp_path, src, "TEL03",
+                         rel="repro/serve/workers.py")
+
+    def test_tel03_scoped_to_serve_layer(self, tmp_path):
+        src = """\
+            def _handle_anything(message):
+                return {}
+            """
+        assert not rule_hits(tmp_path, src, "TEL03",
+                             rel="repro/runtime/executor.py")
+
+    def test_tel03_non_handler_functions_exempt(self, tmp_path):
+        src = """\
+            def dispatch(message):
+                return {}
+            """
+        assert not rule_hits(tmp_path, src, "TEL03",
+                             rel="repro/serve/daemon.py")
+
 
 class TestTypingRule:
     def test_typ01_missing_annotations(self, tmp_path):

@@ -252,3 +252,47 @@ class TestRunSuite:
                                                "structure-aware"]
         assert suite_result.result("dp_add8", "structure").ok
         assert "hpwl" in suite_result.table()
+
+    def test_suite_result_carries_cache_stats(self, tmp_path):
+        cache_dir = tmp_path / "cache"
+        cold = run_suite(["dp_add8"], ("baseline",), workers=0,
+                         cache_dir=cache_dir)
+        assert cold.cache_stats["entries"] == 1
+        assert cold.cache_stats["misses"] == 1
+        assert cold.cache_stats["hits"] == 0
+        warm = run_suite(["dp_add8"], ("baseline",), workers=0,
+                         cache_dir=cache_dir)
+        assert warm.cache_stats["hits"] == 1
+        assert warm.cache_stats["bytes"] > 0
+        no_cache = run_suite(["dp_add8"], ("baseline",), workers=0)
+        assert no_cache.cache_stats is None
+
+
+class TestQueueWaitTelemetry:
+    def test_serial_run_records_queue_wait(self):
+        executor = BatchExecutor(workers=0)
+        tracer = Tracer()
+        jobs = [PlacementJob(design="dp_add8", placer="baseline"),
+                PlacementJob(design="dp_add8", placer="baseline",
+                             seed=1)]
+        results = executor.run(jobs, tracer=tracer)
+        waits = [e for e in tracer.events
+                 if e.get("name") == "queue_wait"]
+        assert len(waits) == 2
+        assert all(e["wait_s"] >= 0.0 for e in waits)
+        # job 2 waits behind job 1's execution in a serial batch
+        assert results[1].queue_wait_s > results[0].queue_wait_s
+        assert results[1].queue_wait_s >= results[0].runtime_s
+
+    def test_parallel_run_records_queue_wait(self, tmp_path):
+        cache = ArtifactCache(tmp_path / "cache")
+        executor = BatchExecutor(workers=1, cache=cache)
+        tracer = Tracer()
+        results = executor.run(
+            [PlacementJob(design="dp_add8", placer="baseline")],
+            tracer=tracer)
+        assert results[0].queue_wait_s >= 0.0
+        waits = [e for e in tracer.events
+                 if e.get("name") == "queue_wait"]
+        assert len(waits) == 1
+        assert waits[0]["job"] == results[0].job.label
