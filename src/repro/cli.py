@@ -266,6 +266,15 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         timeout_s=args.timeout,
         pool=args.pool,
         fallback=not args.no_fallback,
+        stall_timeout_s=args.stall_timeout,
+        scan_interval_s=args.scan_interval,
+        max_attempts=args.max_attempts,
+        backoff_base_s=args.backoff_base,
+        backoff_cap_s=args.backoff_cap,
+        breaker_threshold=args.breaker_threshold,
+        breaker_window=args.breaker_window,
+        breaker_min_samples=args.breaker_min_samples,
+        breaker_cooldown_s=args.breaker_cooldown,
     )
     print(f"repro-serve: listening on {args.socket} "
           f"(workers={args.workers}, max_pending={args.max_pending})",
@@ -299,6 +308,10 @@ def _cmd_submit(args: argparse.Namespace) -> int:
             print(json.dumps(client.cancel(args.cancel), indent=2,
                              sort_keys=True))
             return 0
+        if args.requeue:
+            print(json.dumps(client.requeue(args.requeue), indent=2,
+                             sort_keys=True))
+            return 0
         if args.shutdown:
             print(json.dumps(client.shutdown(args.shutdown), indent=2,
                              sort_keys=True))
@@ -325,7 +338,8 @@ def _submit_jobs(args: argparse.Namespace, client) -> int:
         return 0
     rows, exit_code = [], 0
     for response in submitted:
-        if response["state"] not in ("done", "failed", "cancelled"):
+        if response["state"] not in ("done", "failed", "cancelled",
+                                     "quarantined"):
             response = client.result(response["job_id"], wait=True,
                                      timeout=args.timeout)
         else:
@@ -350,8 +364,9 @@ def _submit_jobs(args: argparse.Namespace, client) -> int:
 def _response_kind(response: dict) -> str:
     if "error_kind" in response:
         return response["error_kind"]
-    if response.get("state") == "cancelled":
-        return "cancelled"
+    state = response.get("state")
+    if state in ("cancelled", "quarantined"):
+        return state
     return "other"
 
 
@@ -360,7 +375,7 @@ def _submit_exit(response: dict) -> int:
     state = response.get("state")
     if state == "done":
         return 0
-    if state in ("failed", "cancelled"):
+    if state in ("failed", "cancelled", "quarantined"):
         return exit_code_for(_response_kind(response))
     return 0  # still queued/running (e.g. result without --wait)
 
@@ -504,6 +519,36 @@ def main(argv: list[str] | None = None) -> int:
                          help="run each job in a process pool for crash/"
                               "timeout isolation (cancel tokens do not "
                               "cross the process boundary)")
+    p_serve.add_argument("--stall-timeout", type=float, default=30.0,
+                         help="seconds without a lease heartbeat before "
+                              "a running job is declared stuck, "
+                              "interrupted, and requeued (default 30)")
+    p_serve.add_argument("--scan-interval", type=float, default=1.0,
+                         help="watchdog lease-scan period in seconds "
+                              "(default 1)")
+    p_serve.add_argument("--max-attempts", type=int, default=3,
+                         help="execution attempts (counted across "
+                              "daemon restarts) before a job is "
+                              "quarantined (default 3)")
+    p_serve.add_argument("--backoff-base", type=float, default=0.5,
+                         help="requeue delay after the first failed "
+                              "attempt; doubles per attempt "
+                              "(default 0.5s)")
+    p_serve.add_argument("--backoff-cap", type=float, default=30.0,
+                         help="upper bound on the requeue backoff "
+                              "delay (default 30s)")
+    p_serve.add_argument("--breaker-threshold", type=float, default=0.5,
+                         help="recent-failure fraction that trips the "
+                              "admission circuit breaker (default 0.5)")
+    p_serve.add_argument("--breaker-window", type=int, default=20,
+                         help="recent job outcomes the breaker "
+                              "considers (default 20)")
+    p_serve.add_argument("--breaker-min-samples", type=int, default=5,
+                         help="outcomes required before the breaker "
+                              "may trip (default 5)")
+    p_serve.add_argument("--breaker-cooldown", type=float, default=30.0,
+                         help="seconds the breaker stays open before "
+                              "half-open probing (default 30)")
     p_serve.add_argument("--no-fallback", action="store_true",
                          help="disable the degradation ladder")
 
@@ -537,6 +582,9 @@ def main(argv: list[str] | None = None) -> int:
                           help="report one job's status and exit")
     p_submit.add_argument("--result", metavar="JOB_ID", default=None,
                           help="fetch one job's result and exit")
+    p_submit.add_argument("--requeue", metavar="JOB_ID", default=None,
+                          help="revive a quarantined job with a fresh "
+                               "attempt budget")
     p_submit.add_argument("--cancel", metavar="JOB_ID", default=None,
                           help="cancel one job and exit")
     p_submit.add_argument("--stats", action="store_true",

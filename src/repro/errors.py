@@ -23,6 +23,8 @@ LegalizationError     legalization 6
 CacheCorruptionError  cache       8
 JobCancelledError     cancelled   9
 ProtocolError         protocol    1
+(job quarantined)     quarantined 10
+(admission shed)      shed        11
 ====================  ==========  =========
 
 Exit code 2 stays reserved for argparse usage errors.  Timeouts are not
@@ -273,6 +275,13 @@ EXIT_CODES: dict[str, int] = {
     CacheCorruptionError.code: CacheCorruptionError.exit_code,
     JobCancelledError.code: JobCancelledError.exit_code,
     ProtocolError.code: ProtocolError.exit_code,
+    # supervision outcomes (repro.serve.supervise): a poison job parked
+    # in quarantine, and a submission shed by the tripped breaker
+    "quarantined": 10,
+    "shed": 11,
+    # a watchdog-interrupted execution (the job itself is requeued or
+    # quarantined; "interrupted" only ever labels the dead attempt)
+    "interrupted": EXIT_FAILURE,
 }
 
 

@@ -20,8 +20,10 @@ _TELEMETRY_HOME = {"repro/runtime/telemetry.py"}
 #: directory whose request handlers must each open a span (TEL03).
 _SERVE_PREFIX = "repro/serve/"
 
-#: serve-layer request handlers are named `_handle_<op>` by convention.
-_HANDLER_PREFIX = "_handle_"
+#: serve-layer request handlers are named `_handle_<op>` by convention;
+#: supervision watchdog passes are named `_supervise_<step>` — both must
+#: account for their latency in the service trace.
+_SPAN_PREFIXES = ("_handle_", "_supervise_")
 
 
 @register
@@ -80,12 +82,14 @@ class HandlerWithoutSpan(Rule):
     id = "TEL03"
     summary = "serve request handler without a tracer span"
     invariant = ("Every daemon request handler (a `_handle_<op>` "
-                 "function under repro/serve/) opens a tracer phase, so "
-                 "the service trace accounts for all request latency — "
-                 "an uninstrumented op is invisible in `stats` and in "
-                 "the JSONL trace.")
+                 "function under repro/serve/) and every supervision "
+                 "pass (`_supervise_<step>`) opens a tracer phase, so "
+                 "the service trace accounts for all request and "
+                 "watchdog latency — an uninstrumented op is invisible "
+                 "in `stats` and in the JSONL trace.")
     fix = ("Wrap the handler body in `with self.tracer.phase("
-           "\"serve.<op>\"):`.")
+           "\"serve.<op>\"):` (supervision passes use their own "
+           "per-scan Tracer).")
 
     def check(self, ctx: FileContext) -> Iterable[Finding]:
         if not ctx.relpath.startswith(_SERVE_PREFIX):
@@ -94,7 +98,7 @@ class HandlerWithoutSpan(Rule):
             if not isinstance(node, (ast.FunctionDef,
                                      ast.AsyncFunctionDef)):
                 continue
-            if not node.name.startswith(_HANDLER_PREFIX):
+            if not node.name.startswith(_SPAN_PREFIXES):
                 continue
             if not self._opens_span(node):
                 yield ctx.finding(

@@ -204,6 +204,28 @@ class BatchExecutor:
         self.retries = max(retries, 0)
         self.checkpoints = checkpoints
         self.fallback = fallback
+        self._active_pool: cf.ProcessPoolExecutor | None = None
+        self._interrupted = False
+
+    def interrupt(self) -> None:
+        """Kill the in-flight parallel execution from another thread.
+
+        The serve watchdog calls this on a stalled pool-mode job: live
+        worker processes are terminated, the broken pool surfaces as a
+        terminal ``interrupted`` result (no internal retry — requeue
+        policy belongs to the supervisor, not this executor).  Serial
+        runs are interrupted through the cancel-token path instead.
+        """
+        self._interrupted = True
+        pool = self._active_pool
+        if pool is None:
+            return
+        processes = getattr(pool, "_processes", None) or {}
+        for proc in list(processes.values()):
+            try:
+                proc.terminate()
+            except (OSError, ValueError, AttributeError):
+                pass  # already gone; nothing left to reclaim
 
     # ------------------------------------------------------------------
     def run(self, jobs: list[PlacementJob],
@@ -282,9 +304,12 @@ class BatchExecutor:
             return fresh
 
         pool = cf.ProcessPoolExecutor(max_workers=self.workers)
-        pending = {idx: submit(pool, job) for idx, job in enumerate(jobs)}
+        self._active_pool = pool
+        self._interrupted = False
         results: list[JobResult | None] = [None] * len(jobs)
         try:
+            pending = {idx: submit(pool, job)
+                       for idx, job in enumerate(jobs)}
             for idx, job in enumerate(jobs):
                 attempts = 1
                 while True:
@@ -295,12 +320,19 @@ class BatchExecutor:
                         result.attempts = attempts
                         break
                     except cf.TimeoutError:
+                        if self._interrupted:
+                            result = JobResult(
+                                job=job, status="error", attempts=attempts,
+                                error="execution interrupted by supervisor",
+                                error_kind="interrupted")
+                            break
                         error = f"timeout after {self.timeout_s}s"
                         kind = "timeout"
                         # the stuck worker cannot be reclaimed mid-
                         # flight: abandon the pool so the retry (or the
                         # remaining jobs) get fresh workers
                         pool = rebuild(pool, idx, pending)
+                        self._active_pool = pool
                         if self.checkpoints is None:
                             # no snapshot to resume from — retrying
                             # would repeat the same budget-blowing run
@@ -309,11 +341,20 @@ class BatchExecutor:
                                 error=error, error_kind=kind)
                             break
                     except BrokenProcessPool as exc:
+                        if self._interrupted:
+                            # the supervisor killed the workers; report
+                            # terminally and let it drive the requeue
+                            result = JobResult(
+                                job=job, status="error", attempts=attempts,
+                                error="execution interrupted by supervisor",
+                                error_kind="interrupted")
+                            break
                         # the pool is unusable after a worker crash;
                         # rebuild it before retrying or moving on
                         error = repr(exc)
                         kind = "crash"
                         pool = rebuild(pool, idx, pending)
+                        self._active_pool = pool
                     # sanctioned fault boundary: worker exceptions are
                     # shipped back as JobResult records with their
                     # taxonomy kind. repro-lint: disable=NUM03
@@ -330,5 +371,6 @@ class BatchExecutor:
                     pending[idx] = submit(pool, job)
                 results[idx] = result
         finally:
+            self._active_pool = None
             pool.shutdown(wait=False, cancel_futures=True)
         return [r for r in results if r is not None]

@@ -4,9 +4,11 @@ The daemon (:mod:`~repro.serve.daemon`) fronts the batch runtime with a
 newline-delimited-JSON protocol (:mod:`~repro.serve.protocol`), a
 persistent bounded priority queue (:mod:`~repro.serve.queue`), worker
 threads bridging into :class:`~repro.runtime.executor.BatchExecutor`
-(:mod:`~repro.serve.workers`), and live service metrics
-(:mod:`~repro.serve.metrics`).  :mod:`~repro.serve.client` is the
-synchronous client the CLI and tests use.
+(:mod:`~repro.serve.workers`), supervised execution — job leases, a
+stuck-worker watchdog, poison-job quarantine, and a load-shedding
+circuit breaker (:mod:`~repro.serve.supervise`) — and live service
+metrics (:mod:`~repro.serve.metrics`).  :mod:`~repro.serve.client` is
+the synchronous client the CLI and tests use.
 
 Lazy imports keep ``import repro.serve`` cheap; see
 :mod:`repro.runtime` for the same pattern.
@@ -28,6 +30,11 @@ _EXPORTS = {
     "DaemonStoppingError": ".queue",
     "ServiceMetrics": ".metrics",
     "WorkerBridge": ".workers",
+    "Supervisor": ".supervise",
+    "SupervisorConfig": ".supervise",
+    "CircuitBreaker": ".supervise",
+    "JobLease": ".supervise",
+    "ServiceShedError": ".supervise",
     "ServeClient": ".client",
     "ServeError": ".client",
     "wait_ready": ".client",

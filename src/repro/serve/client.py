@@ -122,6 +122,10 @@ class ServeClient:
     def cancel(self, job_id: str) -> dict:
         return self.request({"op": "cancel", "job_id": job_id})
 
+    def requeue(self, job_id: str) -> dict:
+        """Revive a quarantined job with a fresh attempt budget."""
+        return self.request({"op": "requeue", "job_id": job_id})
+
     def stats(self) -> dict:
         return self.request({"op": "stats"})
 

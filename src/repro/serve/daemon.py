@@ -41,6 +41,7 @@ from ..runtime.trace import JsonlTraceWriter
 from . import protocol
 from .metrics import ServiceMetrics
 from .queue import JobJournal, JobQueue, QueuedJob
+from .supervise import ServiceShedError, Supervisor, SupervisorConfig
 from .workers import WorkerBridge, job_row
 
 #: daemon tracer event cap — a week-long daemon must not grow a span
@@ -68,6 +69,19 @@ class ServeConfig:
         timeout_s: per-job wall-clock budget (pool mode).
         pool: run each placement in a single-worker process pool.
         fallback: run the degradation ladder (default).
+        stall_timeout_s: a running job with no lease heartbeat for this
+            long is declared stuck (watchdog interrupts + requeues it).
+        scan_interval_s: watchdog lease-scan period.
+        max_attempts: executions (counted across daemon restarts)
+            before a job is quarantined instead of requeued.
+        backoff_base_s: requeue delay after the first failed attempt
+            (doubles per attempt, capped at ``backoff_cap_s``).
+        backoff_cap_s: upper bound on the requeue backoff delay.
+        breaker_threshold: recent-failure fraction that trips the
+            admission circuit breaker into shed mode.
+        breaker_window: recent job outcomes the breaker considers.
+        breaker_min_samples: outcomes required before it may trip.
+        breaker_cooldown_s: open time before half-open probing.
     """
 
     socket_path: str = ".repro-serve.sock"
@@ -83,6 +97,27 @@ class ServeConfig:
     timeout_s: float | None = None
     pool: bool = False
     fallback: bool = True
+    stall_timeout_s: float = 30.0
+    scan_interval_s: float = 1.0
+    max_attempts: int = 3
+    backoff_base_s: float = 0.5
+    backoff_cap_s: float = 30.0
+    breaker_threshold: float = 0.5
+    breaker_window: int = 20
+    breaker_min_samples: int = 5
+    breaker_cooldown_s: float = 30.0
+
+    def supervisor_config(self) -> SupervisorConfig:
+        return SupervisorConfig(
+            stall_timeout_s=self.stall_timeout_s,
+            scan_interval_s=self.scan_interval_s,
+            max_attempts=self.max_attempts,
+            backoff_base_s=self.backoff_base_s,
+            backoff_cap_s=self.backoff_cap_s,
+            breaker_threshold=self.breaker_threshold,
+            breaker_window=self.breaker_window,
+            breaker_min_samples=self.breaker_min_samples,
+            breaker_cooldown_s=self.breaker_cooldown_s)
 
 
 class PlacementDaemon:
@@ -125,12 +160,17 @@ class PlacementDaemon:
         if config.trace_path is not None:
             self._writer = JsonlTraceWriter(config.trace_path)
 
+        self.supervisor = Supervisor(
+            config.supervisor_config(), queue=self.queue,
+            clock=self._clock, emit=self._emit)
+
         self.bridge = WorkerBridge(
             self.queue, workers=config.workers, cache=self.cache,
             checkpoint_root=config.checkpoint_dir, pool=config.pool,
             timeout_s=config.timeout_s, retries=config.retries,
             fallback=config.fallback, clock=self._clock,
-            metrics=self.metrics, emit=self._emit)
+            metrics=self.metrics, emit=self._emit,
+            supervisor=self.supervisor)
 
         #: set once the socket is bound (tests/waiters key off this)
         self.started = threading.Event()
@@ -183,12 +223,14 @@ class PlacementDaemon:
 
         self._replay_pending()
         self.bridge.start()
+        self.supervisor.start()
         self.started.set()
         try:
             async with server:
                 await self._shutdown_event.wait()
                 await self._graceful_shutdown()
         finally:
+            self.supervisor.stop()
             self.bridge.stop()
             if self.journal is not None:
                 self.journal.close()
@@ -199,7 +241,16 @@ class PlacementDaemon:
             self.started.clear()
 
     def _replay_pending(self) -> None:
-        """Re-enqueue jobs a previous daemon accepted but never ran."""
+        """Re-enqueue jobs a previous daemon accepted but never ran.
+
+        The journal's ``lease`` rows carry each job's attempt count
+        across process lifetimes: a job that was mid-execution when the
+        previous daemon died replays with that attempt on the books
+        (its stale lease is reaped, never resumed as running), and a
+        job whose attempts already reached ``max_attempts`` — or that
+        was quarantined in a previous lifetime — re-registers as
+        quarantined instead of crash-looping the fresh daemon.
+        """
         max_seq = 0
         for entry in self._replayed:
             job_id = str(entry.get("job_id", ""))
@@ -215,11 +266,29 @@ class PlacementDaemon:
                     options=protocol.options_from_dict(
                         entry.get("options")),
                     seed=int(entry.get("seed", 0)))
-                self.queue.submit(job,
-                                  priority=int(entry.get("priority", 0)),
-                                  job_id=entry.get("job_id"))
+                attempts = int(entry.get("attempts", 0))
+                priority = int(entry.get("priority", 0))
+                if entry.get("quarantined"):
+                    self.queue.register_quarantined(
+                        job, attempts=attempts, priority=priority,
+                        job_id=entry.get("job_id"),
+                        error=(f"quarantined after {attempts} "
+                               "attempt(s) in a previous daemon "
+                               "lifetime"))
+                    self.tracer.incr("serve.replay_quarantined")
+                elif attempts >= self.config.max_attempts:
+                    self.queue.register_quarantined(
+                        job, attempts=attempts, priority=priority,
+                        job_id=entry.get("job_id"),
+                        error=(f"quarantined after {attempts} "
+                               "attempt(s) across daemon restarts"))
+                    self.tracer.incr("serve.replay_quarantined")
+                else:
+                    self.queue.submit(job, priority=priority,
+                                      job_id=entry.get("job_id"),
+                                      attempts=attempts)
+                    self.tracer.incr("serve.replayed")
                 self.metrics.record_submitted()
-                self.tracer.incr("serve.replayed")
             except ReproError as exc:
                 # a journal row that no longer parses must not block the
                 # daemon from starting; it is logged and dropped
@@ -320,7 +389,25 @@ class PlacementDaemon:
                     self.tracer.incr("serve.cache_fastpath")
                     self._emit(job_row(record))
                 else:
-                    record = self.queue.submit(job, priority=priority)
+                    # the breaker gates only cold admissions — warm
+                    # hits above were already served while shedding
+                    if not self.supervisor.breaker.allow():
+                        self.metrics.record_shed()
+                        self.tracer.incr("serve.shed")
+                        raise ServiceShedError(
+                            "admission shed: circuit breaker is open "
+                            "(recent executions failing); cached "
+                            "submissions are still served",
+                            retry_after_s=self.supervisor.breaker
+                            .retry_after_s())
+                    try:
+                        record = self.queue.submit(job,
+                                                   priority=priority)
+                    except ReproError:
+                        # a half-open probe that failed admission must
+                        # hand its slot back
+                        self.supervisor.breaker.probe_aborted()
+                        raise
                     record.spans["cache_probe"] = probe_s
                     self.metrics.record_submitted()
             except ReproError:
@@ -388,12 +475,19 @@ class PlacementDaemon:
                 was=state_at_cancel,
                 cancel_requested=record.cancel.is_set())
 
+    async def _handle_requeue(self, message: dict) -> dict:
+        with self.tracer.phase("serve.requeue"):
+            record = self.queue.revive(message["job_id"])
+            self.tracer.incr("serve.requeued")
+            return protocol.ok_response(**record.describe())
+
     async def _handle_stats(self, message: dict) -> dict:
         with self.tracer.phase("serve.stats"):
             stats = self.metrics.snapshot()
             stats["queue"] = self.queue.counts()
             stats["executor"] = dict(sorted(
                 self.bridge.counters.items()))
+            stats["supervision"] = self.supervisor.snapshot()
             if self.cache is not None:
                 stats["artifact_cache"] = self.cache.stats()
             return protocol.ok_response(

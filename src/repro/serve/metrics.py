@@ -70,6 +70,7 @@ class ServiceMetrics:
         self._lock = threading.Lock()
         self.submitted = 0
         self.rejected = 0
+        self.shed = 0
         self.by_state = {state: 0 for state in protocol.TERMINAL_STATES}
         self.cache_hits = 0
         self.cache_misses = 0
@@ -89,6 +90,13 @@ class ServiceMetrics:
     def record_rejected(self) -> None:
         with self._lock:
             self.rejected += 1
+
+    def record_shed(self) -> None:
+        """A cold submission was refused by the open circuit breaker
+        (also counted in ``rejected``; this isolates the breaker's
+        share)."""
+        with self._lock:
+            self.shed += 1
 
     def record_finished(self, record: "QueuedJob") -> None:
         """Fold one terminal job into the aggregates."""
@@ -130,6 +138,7 @@ class ServiceMetrics:
                 "uptime_s": round(uptime_s, 3),
                 "submitted": self.submitted,
                 "rejected": self.rejected,
+                "shed": self.shed,
                 "finished": dict(sorted(self.by_state.items())),
                 "throughput_per_s": round(finished / uptime_s, 3),
                 "cache": {

@@ -8,6 +8,7 @@ socket.  Requests are JSON objects with an ``op`` field::
     {"op": "status", "job_id": "j000001"}
     {"op": "result", "job_id": "j000001", "wait": true, "timeout": 60}
     {"op": "cancel", "job_id": "j000001"}
+    {"op": "requeue", "job_id": "j000001"}
     {"op": "stats"}
     {"op": "shutdown", "mode": "drain"}
     {"op": "ping"}
@@ -21,10 +22,16 @@ never an allocation).
 
 Job lifecycle states (``state`` in status/result responses)::
 
-    queued -> running -> done | failed | cancelled
+    queued -> running -> done | failed | cancelled | quarantined
+                  ^          |
+                  +- requeue-+   (watchdog stall / crash, with backoff)
 
 A warm-cache submission skips the queue entirely and is born ``done``
-with ``cached: true``.
+with ``cached: true``.  ``quarantined`` is where poison jobs park: a
+job whose cross-restart attempt count exceeds the daemon's
+``--max-attempts`` stops crash-looping and waits for an explicit
+``{"op": "requeue", "job_id": ...}`` to revive it with a fresh attempt
+budget.
 """
 
 from __future__ import annotations
@@ -42,8 +49,8 @@ PROTOCOL_VERSION = 1
 MAX_LINE_BYTES = 4 * 1024 * 1024
 
 #: every operation the daemon answers.
-OPS = ("submit", "status", "result", "cancel", "stats", "shutdown",
-       "ping")
+OPS = ("submit", "status", "result", "cancel", "requeue", "stats",
+       "shutdown", "ping")
 
 #: job lifecycle states.
 QUEUED = "queued"
@@ -51,7 +58,8 @@ RUNNING = "running"
 DONE = "done"
 FAILED = "failed"
 CANCELLED = "cancelled"
-TERMINAL_STATES = (DONE, FAILED, CANCELLED)
+QUARANTINED = "quarantined"
+TERMINAL_STATES = (DONE, FAILED, CANCELLED, QUARANTINED)
 
 #: shutdown modes: drain finishes all accepted work; "now" stops after
 #: the in-flight jobs checkpoint (queued work is journaled for restart).
@@ -124,7 +132,7 @@ def validate_request(message: dict) -> str:
         options = message.get("options")
         if options is not None and not isinstance(options, dict):
             raise ProtocolError("'options' must be an object", op=op)
-    elif op in ("status", "result", "cancel"):
+    elif op in ("status", "result", "cancel", "requeue"):
         _require(message, "job_id", (str,), op)
     elif op == "shutdown":
         mode = message.get("mode", "drain")

@@ -1,0 +1,551 @@
+"""Tests for repro.serve.supervise: leases, watchdog, quarantine,
+circuit breaker, plus the fault-spec parsing and exit-code contracts
+they ride on."""
+
+import json
+import threading
+
+import pytest
+
+from repro.errors import OptionsError, exit_code_for
+from repro.robust import faults
+from repro.runtime import PlacementJob
+from repro.serve import protocol
+from repro.serve.metrics import ServiceMetrics
+from repro.serve.queue import JobJournal, JobQueue
+from repro.serve.supervise import (CircuitBreaker, ServiceShedError,
+                                   Supervisor, SupervisorConfig)
+from repro.serve.workers import WorkerBridge
+
+
+def _clock_list(value=0.0):
+    state = [value]
+    return state, lambda: state[0]
+
+
+def _job(design="dp_add8"):
+    return PlacementJob(design=design, placer="baseline")
+
+
+@pytest.fixture(autouse=True)
+def _reset_faults():
+    faults.reset()
+    yield
+    faults.reset()
+
+
+# ----------------------------------------------------------------------
+# fault-spec parsing (satellite: parse once, OptionsError on garbage)
+# ----------------------------------------------------------------------
+
+class TestFaultSpec:
+    @pytest.mark.parametrize("entry", [
+        "solver_nan:x", "worker_hang:1:y", "a:1:2:3", "a:-1", "a:1:-2",
+    ])
+    def test_malformed_entry_raises_options_error_naming_it(
+            self, entry, monkeypatch):
+        monkeypatch.setenv(faults.ENV_VAR, entry)
+        with pytest.raises(OptionsError) as excinfo:
+            faults.fault_fires("solver_nan")
+        assert entry.split(",")[0] in str(excinfo.value)
+        assert faults.ENV_VAR in str(excinfo.value)
+
+    def test_env_value_parsed_once_not_per_call(self, monkeypatch):
+        calls = []
+        real = faults._parse_spec
+
+        def counting(value):
+            calls.append(value)
+            return real(value)
+
+        monkeypatch.setattr(faults, "_parse_spec", counting)
+        monkeypatch.setenv(faults.ENV_VAR, "worker_crash:2")
+        for _ in range(50):
+            faults.fault_fires("worker_crash")
+        assert len(calls) == 1
+        # a different value reparses exactly once more
+        monkeypatch.setenv(faults.ENV_VAR, "worker_crash:3")
+        for _ in range(10):
+            faults.fault_fires("worker_crash")
+        assert len(calls) == 2
+
+    def test_count_and_skip_windows(self, monkeypatch):
+        monkeypatch.setenv(faults.ENV_VAR, "worker_hang:2:3")
+        fired = [faults.fault_fires("worker_hang") for _ in range(8)]
+        assert fired == [False, False, False, True, True,
+                         False, False, False]
+
+    def test_unset_env_never_fires(self, monkeypatch):
+        monkeypatch.delenv(faults.ENV_VAR, raising=False)
+        assert not faults.fault_fires("worker_crash")
+
+
+# ----------------------------------------------------------------------
+# supervision policy config
+# ----------------------------------------------------------------------
+
+class TestSupervisorConfig:
+    def test_defaults_valid(self):
+        config = SupervisorConfig()
+        assert config.max_attempts == 3
+
+    @pytest.mark.parametrize("kwargs", [
+        {"stall_timeout_s": 0.0}, {"scan_interval_s": -1.0},
+        {"max_attempts": 0}, {"breaker_threshold": 0.0},
+        {"breaker_threshold": 1.5}, {"breaker_window": 0},
+    ])
+    def test_invalid_values_rejected(self, kwargs):
+        with pytest.raises(OptionsError):
+            SupervisorConfig(**kwargs)
+
+    def test_backoff_doubles_and_caps(self):
+        config = SupervisorConfig(backoff_base_s=0.5, backoff_cap_s=3.0)
+        assert [config.backoff_s(n) for n in (1, 2, 3, 4, 10)] == \
+            [0.5, 1.0, 2.0, 3.0, 3.0]
+
+
+# ----------------------------------------------------------------------
+# circuit breaker
+# ----------------------------------------------------------------------
+
+def _breaker(clock, **kwargs):
+    defaults = dict(breaker_threshold=0.5, breaker_window=10,
+                    breaker_min_samples=4, breaker_cooldown_s=10.0)
+    defaults.update(kwargs)
+    return CircuitBreaker(SupervisorConfig(**defaults), clock)
+
+
+class TestCircuitBreaker:
+    def test_stays_closed_below_min_samples(self):
+        _state, clock = _clock_list()
+        breaker = _breaker(clock)
+        for _ in range(3):
+            breaker.record(False)
+        assert breaker.state == CircuitBreaker.CLOSED
+        assert breaker.allow()
+
+    def test_trips_at_failure_threshold_and_sheds(self):
+        _state, clock = _clock_list()
+        breaker = _breaker(clock)
+        for ok in (True, True, False, False):  # 50% of 4 samples
+            breaker.record(ok)
+        assert breaker.state == CircuitBreaker.OPEN
+        assert breaker.trips == 1
+        assert not breaker.allow()
+        assert breaker.snapshot()["shed"] == 1
+        assert 0.0 < breaker.retry_after_s() <= 10.0
+
+    def test_half_open_probe_success_recloses(self):
+        state, clock = _clock_list()
+        breaker = _breaker(clock)
+        for _ in range(4):
+            breaker.record(False)
+        state[0] += 11.0  # past cooldown
+        assert breaker.allow()  # the probe
+        assert breaker.state == CircuitBreaker.HALF_OPEN
+        assert not breaker.allow()  # only one probe at a time
+        breaker.record(True)
+        assert breaker.state == CircuitBreaker.CLOSED
+        assert breaker.allow()
+
+    def test_half_open_probe_failure_reopens(self):
+        state, clock = _clock_list()
+        breaker = _breaker(clock)
+        for _ in range(4):
+            breaker.record(False)
+        state[0] += 11.0
+        assert breaker.allow()
+        breaker.record(False)
+        assert breaker.state == CircuitBreaker.OPEN
+        assert not breaker.allow()
+
+    def test_aborted_probe_frees_the_slot(self):
+        state, clock = _clock_list()
+        breaker = _breaker(clock)
+        for _ in range(4):
+            breaker.record(False)
+        state[0] += 11.0
+        assert breaker.allow()
+        breaker.probe_aborted()
+        assert breaker.allow()  # slot handed back
+
+
+# ----------------------------------------------------------------------
+# leases + watchdog
+# ----------------------------------------------------------------------
+
+def _supervised_queue(tmp_path, clock, **config_kwargs):
+    journal = JobJournal(tmp_path / "journal.jsonl")
+    queue = JobQueue(clock=clock, journal=journal)
+    defaults = dict(stall_timeout_s=5.0, scan_interval_s=0.1,
+                    max_attempts=3, backoff_base_s=1.0,
+                    breaker_min_samples=100)
+    defaults.update(config_kwargs)
+    supervisor = Supervisor(SupervisorConfig(**defaults), queue=queue,
+                            clock=clock)
+    return queue, supervisor
+
+
+class TestLeases:
+    def test_acquire_counts_attempt_and_journals_it(self, tmp_path):
+        _state, clock = _clock_list()
+        queue, supervisor = _supervised_queue(tmp_path, clock)
+        record = queue.submit(_job())
+        queue.pop(timeout=0)
+        lease = supervisor.acquire(record, worker="w0",
+                                   interrupt=lambda: None)
+        assert record.attempts == 1
+        assert lease.attempt == 1
+        queue.journal.close()
+        rows = [json.loads(line) for line in
+                (tmp_path / "journal.jsonl").read_text().splitlines()]
+        assert {"event": "lease", "job_id": record.job_id,
+                "attempt": 1} in rows
+
+    def test_heartbeat_renews_and_release_drops(self, tmp_path):
+        state, clock = _clock_list()
+        queue, supervisor = _supervised_queue(tmp_path, clock)
+        record = queue.submit(_job())
+        queue.pop(timeout=0)
+        lease = supervisor.acquire(record, worker="w0",
+                                   interrupt=lambda: None)
+        state[0] = 4.0
+        supervisor.heartbeat(record.job_id)
+        assert lease.heartbeat_s == 4.0
+        assert lease.beats == 1
+        snap = supervisor.snapshot()
+        assert snap["leases"][0]["job_id"] == record.job_id
+        supervisor.release(record.job_id, lease.epoch)
+        assert supervisor.snapshot()["leases"] == []
+
+    def test_heartbeat_drop_fault_starves_the_lease(self, tmp_path,
+                                                    monkeypatch):
+        state, clock = _clock_list()
+        queue, supervisor = _supervised_queue(tmp_path, clock)
+        record = queue.submit(_job())
+        queue.pop(timeout=0)
+        lease = supervisor.acquire(record, worker="w0",
+                                   interrupt=lambda: None)
+        monkeypatch.setenv(faults.ENV_VAR, "heartbeat_drop:*")
+        state[0] = 4.0
+        supervisor.heartbeat(record.job_id)
+        assert lease.heartbeat_s == 0.0  # renewal silently dropped
+        assert lease.beats == 0
+
+
+class TestWatchdog:
+    def test_stale_lease_requeued_with_backoff_and_epoch_bump(
+            self, tmp_path):
+        state, clock = _clock_list()
+        queue, supervisor = _supervised_queue(tmp_path, clock)
+        record = queue.submit(_job())
+        queue.pop(timeout=0)
+        interrupted = threading.Event()
+        lease = supervisor.acquire(record, worker="w0",
+                                   interrupt=interrupted.set)
+        old_epoch = lease.epoch
+        state[0] = 6.0  # past the 5s stall timeout
+        supervisor._supervise_scan()
+        assert interrupted.is_set()
+        assert record.state == protocol.QUEUED
+        assert record.epoch == old_epoch + 1
+        assert supervisor.counters["supervise.stalled"] == 1
+        assert supervisor.counters["supervise.requeued"] == 1
+        assert supervisor.snapshot()["leases"] == []
+        # the dead execution's late finish is discarded (exactly once)
+        assert not queue.finish(record, protocol.DONE, result=None,
+                                epoch=old_epoch)
+        assert record.state == protocol.QUEUED
+        # backoff: invisible to pop until the delay passes
+        assert queue.pop(timeout=0) is None
+        state[0] = 6.0 + 1.1  # attempt 1 -> 1.0s backoff
+        assert queue.pop(timeout=0) is record
+        assert record.state == protocol.RUNNING
+
+    def test_healthy_lease_left_alone(self, tmp_path):
+        state, clock = _clock_list()
+        queue, supervisor = _supervised_queue(tmp_path, clock)
+        record = queue.submit(_job())
+        queue.pop(timeout=0)
+        supervisor.acquire(record, worker="w0", interrupt=lambda: None)
+        state[0] = 4.0
+        supervisor.heartbeat(record.job_id)
+        state[0] = 8.0  # 4s idle < 5s timeout
+        supervisor._supervise_scan()
+        assert record.state == protocol.RUNNING
+        assert supervisor.counters["supervise.stalled"] == 0
+
+    def test_attempt_budget_exhausted_quarantines(self, tmp_path):
+        state, clock = _clock_list()
+        queue, supervisor = _supervised_queue(tmp_path, clock,
+                                              max_attempts=2)
+        record = queue.submit(_job())
+        # two stall cycles: requeue, then quarantine
+        for cycle in range(2):
+            popped = queue.pop(timeout=0)
+            assert popped is record
+            supervisor.acquire(record, worker="w0",
+                               interrupt=lambda: None)
+            state[0] += 6.0
+            supervisor._supervise_scan()
+            state[0] += 5.0  # clear any backoff
+        assert record.state == protocol.QUARANTINED
+        assert record.error_kind == "quarantined"
+        assert record.done.is_set()
+        assert "2 attempt(s)" in record.error
+        assert supervisor.counters["supervise.quarantined"] == 1
+        # quarantine is journaled as a terminal state
+        queue.journal.close()
+        rows = [json.loads(line) for line in
+                (tmp_path / "journal.jsonl").read_text().splitlines()]
+        assert {"event": "finish", "job_id": record.job_id,
+                "state": "quarantined"} in rows
+
+    def test_resolve_failure_superseded_when_already_finished(
+            self, tmp_path):
+        _state, clock = _clock_list()
+        queue, supervisor = _supervised_queue(tmp_path, clock)
+        record = queue.submit(_job())
+        queue.pop(timeout=0)
+        epoch = record.epoch
+        queue.finish(record, protocol.DONE, result=None, epoch=epoch)
+        assert supervisor.resolve_failure(record, epoch=epoch,
+                                          reason="crash") == "superseded"
+        assert record.state == protocol.DONE
+
+
+# ----------------------------------------------------------------------
+# queue supervision primitives
+# ----------------------------------------------------------------------
+
+class TestQueueSupervision:
+    def test_requeue_rejects_stale_epoch(self, tmp_path):
+        _state, clock = _clock_list()
+        queue = JobQueue(clock=clock)
+        record = queue.submit(_job())
+        queue.pop(timeout=0)
+        assert queue.requeue(record, epoch=record.epoch + 5) is False
+        assert record.state == protocol.RUNNING
+
+    def test_revive_restores_a_quarantined_job(self, tmp_path):
+        _state, clock = _clock_list()
+        journal = JobJournal(tmp_path / "j.jsonl")
+        queue = JobQueue(clock=clock, journal=journal)
+        record = queue.submit(_job())
+        queue.pop(timeout=0)
+        assert queue.quarantine(record, epoch=record.epoch,
+                                error="poison")
+        assert record.state == protocol.QUARANTINED
+        revived = queue.revive(record.job_id)
+        assert revived is record
+        assert record.state == protocol.QUEUED
+        assert record.attempts == 0
+        assert record.error is None
+        assert not record.done.is_set()
+        assert queue.pop(timeout=0) is record
+        journal.close()
+        rows = [json.loads(line) for line in
+                (tmp_path / "j.jsonl").read_text().splitlines()]
+        assert {"event": "requeue", "job_id": record.job_id} in rows
+
+    def test_revive_rejects_non_quarantined_and_unknown(self):
+        _state, clock = _clock_list()
+        queue = JobQueue(clock=clock)
+        record = queue.submit(_job())
+        with pytest.raises(OptionsError, match="not quarantined"):
+            queue.revive(record.job_id)
+        with pytest.raises(OptionsError, match="unknown job id"):
+            queue.revive("j999999")
+
+    def test_cancel_while_backing_off_wins(self):
+        state, clock = _clock_list()
+        queue = JobQueue(clock=clock)
+        record = queue.submit(_job())
+        queue.pop(timeout=0)
+        assert queue.requeue(record, epoch=record.epoch, delay_s=5.0)
+        queue.cancel(record.job_id)
+        assert record.state == protocol.CANCELLED
+        state[0] = 10.0
+        assert queue.pop(timeout=0) is None  # never comes back
+
+
+# ----------------------------------------------------------------------
+# journal replay with leases (cross-restart attempt counting)
+# ----------------------------------------------------------------------
+
+class TestJournalReplayWithLeases:
+    def _journal(self, tmp_path, events):
+        path = tmp_path / "journal.jsonl"
+        with path.open("w", encoding="utf-8") as fh:
+            for event in events:
+                if isinstance(event, str):
+                    fh.write(event + "\n")  # raw (torn) line
+                else:
+                    fh.write(json.dumps(event) + "\n")
+        return path
+
+    def _accept(self, job_id, attempts=0):
+        return {"event": "accept", "job_id": job_id, "design": "dp_add8",
+                "placer": "baseline", "seed": 0, "priority": 0,
+                "attempts": attempts, "options": None}
+
+    def test_unfinished_lease_counts_the_attempt(self, tmp_path):
+        path = self._journal(tmp_path, [
+            self._accept("j000001"),
+            {"event": "lease", "job_id": "j000001", "attempt": 1},
+        ])
+        replayed = JobJournal.replay(path)
+        assert len(replayed) == 1
+        assert replayed[0]["attempts"] == 1
+        assert replayed[0]["quarantined"] is False
+
+    def test_accept_attempts_seed_cross_restart_counts(self, tmp_path):
+        path = self._journal(tmp_path, [
+            self._accept("j000001", attempts=2),
+            {"event": "lease", "job_id": "j000001", "attempt": 3},
+        ])
+        assert JobJournal.replay(path)[0]["attempts"] == 3
+
+    def test_quarantined_jobs_survive_replay(self, tmp_path):
+        path = self._journal(tmp_path, [
+            self._accept("j000001"),
+            {"event": "lease", "job_id": "j000001", "attempt": 1},
+            {"event": "finish", "job_id": "j000001",
+             "state": "quarantined"},
+        ])
+        replayed = JobJournal.replay(path)
+        assert replayed[0]["quarantined"] is True
+
+    def test_requeue_event_revives_with_fresh_budget(self, tmp_path):
+        path = self._journal(tmp_path, [
+            self._accept("j000001"),
+            {"event": "lease", "job_id": "j000001", "attempt": 1},
+            {"event": "finish", "job_id": "j000001",
+             "state": "quarantined"},
+            {"event": "requeue", "job_id": "j000001"},
+        ])
+        replayed = JobJournal.replay(path)
+        assert replayed[0]["quarantined"] is False
+        assert replayed[0]["attempts"] == 0
+
+    def test_done_jobs_dropped_torn_lines_skipped(self, tmp_path):
+        torn = json.dumps({"event": "finish", "job_id": "j000002",
+                           "state": "done"})[:17]
+        path = self._journal(tmp_path, [
+            self._accept("j000001"),
+            {"event": "finish", "job_id": "j000001", "state": "done"},
+            self._accept("j000002"),
+            torn,  # crash tore the tail: j000002 must replay
+        ])
+        replayed = JobJournal.replay(path)
+        assert [r["job_id"] for r in replayed] == ["j000002"]
+
+    def test_torn_write_fault_tears_finish_records(self, tmp_path,
+                                                   monkeypatch):
+        _state, clock = _clock_list()
+        journal = JobJournal(tmp_path / "journal.jsonl")
+        queue = JobQueue(clock=clock, journal=journal)
+        record = queue.submit(_job())
+        queue.pop(timeout=0)
+        monkeypatch.setenv(faults.ENV_VAR, "journal_torn_write:1")
+        queue.finish(record, protocol.DONE, result=None)
+        journal.close()
+        # the torn finish is unparseable -> the job replays (re-run,
+        # never lost)
+        replayed = JobJournal.replay(tmp_path / "journal.jsonl")
+        assert [r["job_id"] for r in replayed] == [record.job_id]
+
+
+# ----------------------------------------------------------------------
+# protocol + exit-code surface
+# ----------------------------------------------------------------------
+
+class TestSupervisionSurface:
+    def test_requeue_op_needs_job_id(self):
+        from repro.errors import ProtocolError
+        with pytest.raises(ProtocolError, match="job_id"):
+            protocol.validate_request({"op": "requeue"})
+        assert protocol.validate_request(
+            {"op": "requeue", "job_id": "j000001"}) == "requeue"
+
+    def test_quarantined_is_terminal(self):
+        assert protocol.QUARANTINED in protocol.TERMINAL_STATES
+
+    def test_exit_codes(self):
+        assert exit_code_for("quarantined") == 10
+        assert exit_code_for("shed") == 11
+        assert exit_code_for("interrupted") == 1
+        assert ServiceShedError("shed").exit_code == 11
+
+    def test_metrics_count_quarantined_and_shed(self):
+        _state, clock = _clock_list()
+        metrics = ServiceMetrics(clock)
+        assert "quarantined" in metrics.by_state
+        metrics.record_shed()
+        assert metrics.snapshot()["shed"] == 1
+
+    def test_cli_exit_for_quarantined_response(self):
+        from repro.cli import _submit_exit
+        assert _submit_exit({"state": "quarantined",
+                             "error_kind": "quarantined"}) == 10
+
+
+# ----------------------------------------------------------------------
+# worker-leak accounting (satellite: stop() must not lie)
+# ----------------------------------------------------------------------
+
+class TestWorkerLeakAccounting:
+    def test_stop_counts_threads_that_fail_to_join(self):
+        _state0, clock = _clock_list()
+        import time as _time
+        queue = JobQueue(clock=_time.monotonic)
+        metrics = ServiceMetrics(_time.monotonic)
+        rows = []
+        bridge = WorkerBridge(queue, workers=1, clock=_time.monotonic,
+                              metrics=metrics, emit=rows.append)
+        wedge = threading.Event()
+        bridge._execute = lambda record: wedge.wait(30.0)
+        bridge.start()
+        queue.submit(_job())
+        deadline = _time.monotonic() + 10.0
+        while not queue.running() and _time.monotonic() < deadline:
+            _time.sleep(0.01)
+        leaked = bridge.stop(join_timeout_s=0.3)
+        try:
+            assert leaked == 1
+            assert bridge.counters["worker.leaked"] == 1
+            leak_rows = [r for r in rows
+                         if r.get("kind") == "worker_leak"]
+            assert leak_rows and leak_rows[0]["leaked"] == 1
+            assert leak_rows[0]["workers"] == ["repro-serve-worker-0"]
+        finally:
+            wedge.set()
+
+    def test_clean_stop_reports_zero_leaks(self):
+        import time as _time
+        queue = JobQueue(clock=_time.monotonic)
+        metrics = ServiceMetrics(_time.monotonic)
+        bridge = WorkerBridge(queue, workers=2, clock=_time.monotonic,
+                              metrics=metrics)
+        bridge.start()
+        assert bridge.stop(join_timeout_s=10.0) == 0
+        assert "worker.leaked" not in bridge.counters
+
+    def test_abandon_worker_spawns_replacement(self):
+        import time as _time
+        queue = JobQueue(clock=_time.monotonic)
+        metrics = ServiceMetrics(_time.monotonic)
+        bridge = WorkerBridge(queue, workers=1, clock=_time.monotonic,
+                              metrics=metrics)
+        bridge.start()
+        bridge.abandon_worker("repro-serve-worker-0")
+        try:
+            assert bridge.counters["worker.abandoned"] == 1
+            names = [t.name for t in bridge._threads]
+            assert "repro-serve-worker-1" in names
+            # the replacement still drains work
+            record = queue.submit(_job("dp_add8"))
+            assert record.done.wait(timeout=120)
+            assert record.state == protocol.DONE
+        finally:
+            bridge.stop(join_timeout_s=10.0)
