@@ -6,15 +6,27 @@ run.  Reconstructed expectation: both flows scale near-quadratically in
 this pure-Python prototype (the repro=3 band: "prototype possible but
 slow on real benchmarks"), with extraction a small fraction of total
 runtime.
+
+Setting ``REPRO_F4_LARGE=1`` appends a ~100k-cell point run with the
+FFT electrostatic engine through the multilevel V-cycle (the only
+configuration that finishes a design that size in reasonable time in
+pure Python); the baseline flow is skipped there.
 """
+
+import os
 
 from common import save_result
 
-from repro.core import BaselinePlacer, StructureAwarePlacer
+from repro.core import (BaselinePlacer, PlacerOptions,
+                        StructureAwarePlacer)
 from repro.eval import format_series
 from repro.gen import datapath_fraction_design
+from repro.place.multilevel import MultilevelOptions
 
 _SIZES = (400, 800, 1600, 3200)
+# requested generator cells -> ~100k placed cells (see bench_kernels'
+# engine shoot-out, which gates this configuration's speed and quality)
+_LARGE_SIZE = 68000
 
 
 def _run_f4() -> str:
@@ -29,6 +41,21 @@ def _run_f4() -> str:
         points.append({
             "cells": struct_design.netlist.num_cells,
             "base_t_s": round(base.runtime_s, 2),
+            "struct_t_s": round(struct.runtime_s, 2),
+            "extract_s": round(struct.extract_s, 2),
+            "gp_s": round(struct.gp_s, 2),
+            "legal_s": round(struct.legalize_s, 2),
+            "detailed_s": round(struct.detailed_s, 2),
+        })
+    if os.environ.get("REPRO_F4_LARGE"):
+        n = _LARGE_SIZE
+        d = datapath_fraction_design(f"f4_{n}", n, 0.55, seed=9)
+        opts = PlacerOptions(
+            seed=0, engine="electro",
+            multilevel=MultilevelOptions(enabled=True))
+        struct = StructureAwarePlacer(opts).place(d.netlist, d.region)
+        points.append({
+            "cells": d.netlist.num_cells,
             "struct_t_s": round(struct.runtime_s, 2),
             "extract_s": round(struct.extract_s, 2),
             "gp_s": round(struct.gp_s, 2),

@@ -2,10 +2,15 @@
 
 Times every kernel in :mod:`repro.kernels` against its retained scalar
 reference on a large generated design, checks 1e-9 relative equivalence
-(exit 1 on disagreement — the hard CI gate), and measures end-to-end
-``StructureAwarePlacer`` wall time at three sizes.  Results land in
-``BENCH_PERF.json`` (repo root by default) for the CI artifact upload;
-timings are logged, not gated — only equivalence fails the job.
+(exit 1 on disagreement — the hard CI gate), measures the workspace
+scratch-reuse delta (bit-identity gated), races the electrostatic engine
+against the flat B2B quadratic engine on a ~100k-cell design (speed and
+HPWL gates — see ``ELECTRO_*``), and measures end-to-end
+``StructureAwarePlacer`` wall time at three sizes.  All kernels run
+through the array backend selected by ``REPRO_BACKEND`` (numpy default).
+Results merge into ``BENCH_PERF.json`` (repo root by default; existing
+sections from other benchmarks are preserved) for the CI artifact
+upload.
 
 Usage::
 
@@ -29,16 +34,32 @@ import numpy as np
 
 from repro.core import PlacerOptions, StructureAwarePlacer
 from repro.gen import datapath_fraction_design
-from repro.kernels import (IncrementalHPWL, bell_value_grad, hpwl_kernel,
-                           hpwl_per_net_kernel, rasterize_overlap)
+from repro.kernels import (IncrementalHPWL, bell_value_grad, expand_pin_net,
+                           hpwl_kernel, hpwl_per_net_kernel,
+                           rasterize_overlap)
+from repro.kernels.b2b import b2b_pairs
+from repro.kernels.backend import (Workspace, get_backend,
+                                   resolve_backend_name, use_backend)
 from repro.kernels.reference import (bell_value_grad_reference,
                                      hpwl_per_net_reference, hpwl_reference,
                                      incident_cost_reference,
                                      rasterize_overlap_reference)
 from repro.place import PlacementArrays
 from repro.place.b2b import B2BBuilder
+from repro.place.electrostatic import ElectrostaticPlacer
+from repro.place.multilevel import MultilevelOptions
+from repro.place.multilevel.vcycle import multilevel_place
+from repro.place.quadratic import QuadraticPlacer
+from repro.place.wirelength import hpwl as hpwl_of
 
 EQUIV_RTOL = 1e-9
+
+# electrostatic-engine gates (GP only, at the full-run engine size):
+# electro must beat the flat B2B quadratic engine by >= 2x wall clock,
+# give up <= 5% HPWL flat, and <= 2% through the multilevel V-cycle.
+ELECTRO_SPEEDUP_MIN = 2.0
+ELECTRO_HPWL_TOL = 0.05
+ELECTRO_ML_HPWL_TOL = 0.02
 
 
 def _best_of(fn, repeats: int) -> float:
@@ -142,6 +163,25 @@ def bench_kernels(n_cells: int, failures: list[str], *,
         _best_of(lambda: bell_value_grad(bx, by, bw, bh, ba, **bell), 3),
         err, failures)
 
+    # workspace reuse: same kernel, scratch served from a per-design
+    # arena instead of fresh allocations — must stay bit-identical
+    ws = Workspace(get_backend("numpy"))
+    got_ws = bell_value_grad(bx, by, bw, bh, ba, workspace=ws, **bell)
+    ws_err = max(_rel_err(got_ws[0], got[0]), _rel_err(got_ws[1], got[1]),
+                 _rel_err(got_ws[2], got[2]))
+    if ws_err > 0.0:
+        failures.append(f"density_bell workspace path not bit-identical "
+                        f"(max rel err {ws_err:.3e})")
+    ws_s = _best_of(lambda: bell_value_grad(bx, by, bw, bh, ba,
+                                            workspace=ws, **bell), 3)
+    out["density_bell"]["workspace_s"] = round(ws_s, 6)
+    out["density_bell"]["workspace_saved_frac"] = round(
+        1.0 - ws_s / max(out["density_bell"]["vectorized_s"], 1e-12), 4)
+    print(f"  {'  + workspace':<18} "
+          f"{'':>13}   ws  {ws_s * 1e3:9.2f} ms   "
+          f"saved {out['density_bell']['workspace_saved_frac'] * 100:+.1f}%"
+          f"   err {ws_err:.1e} {'OK' if ws_err == 0.0 else 'FAIL'}")
+
     # --- B2B system assembly ------------------------------------------
     builder = B2BBuilder(arrays)
     want_sys = builder.build_axis_reference(x, arrays.pin_dx, anchors=x,
@@ -160,6 +200,33 @@ def bench_kernels(n_cells: int, failures: list[str], *,
         _best_of(lambda: builder.build_axis(
             x, arrays.pin_dx, anchors=x, anchor_weight=0.05), 5),
         err, failures)
+
+    # workspace reuse on the pair kernel (the allocation-heavy part of
+    # assembly): arena-served stacks must stay bit-identical
+    pin_net = expand_pin_net(arrays.net_start)
+    px_b2b = x[arrays.pin_cell] + arrays.pin_dx
+    cold = b2b_pairs(px_b2b, starts, weights, arrays.pin_cell,
+                     arrays.pin_dx, pin_net, 1e-6)
+    warm = b2b_pairs(px_b2b, starts, weights, arrays.pin_cell,
+                     arrays.pin_dx, pin_net, 1e-6, workspace=ws)
+    ws_err = max(_rel_err(w_, c_) for w_, c_ in zip(warm, cold))
+    if ws_err > 0.0:
+        failures.append(f"b2b_pairs workspace path not bit-identical "
+                        f"(max rel err {ws_err:.3e})")
+    cold_s = _best_of(lambda: b2b_pairs(px_b2b, starts, weights,
+                                        arrays.pin_cell, arrays.pin_dx,
+                                        pin_net, 1e-6), 5)
+    warm_s = _best_of(lambda: b2b_pairs(px_b2b, starts, weights,
+                                        arrays.pin_cell, arrays.pin_dx,
+                                        pin_net, 1e-6, workspace=ws), 5)
+    out["b2b_assembly"]["pairs_fresh_s"] = round(cold_s, 6)
+    out["b2b_assembly"]["workspace_s"] = round(warm_s, 6)
+    out["b2b_assembly"]["workspace_saved_frac"] = round(
+        1.0 - warm_s / max(cold_s, 1e-12), 4)
+    print(f"  {'  + workspace':<18} "
+          f"frs {cold_s * 1e3:9.2f} ms   ws  {warm_s * 1e3:9.2f} ms   "
+          f"saved {out['b2b_assembly']['workspace_saved_frac'] * 100:+.1f}%"
+          f"   err {ws_err:.1e} {'OK' if ws_err == 0.0 else 'FAIL'}")
 
     # --- incremental swap evaluation ----------------------------------
     inc = IncrementalHPWL(nl)
@@ -207,6 +274,68 @@ def bench_kernels(n_cells: int, failures: list[str], *,
     return out
 
 
+def bench_engines(n_cells: int, failures: list[str], *,
+                  gate_speedup: bool) -> dict:
+    """Flat B2B GP vs electrostatic engine vs multilevel+electro.
+
+    Global placement only (no legalization/detailed — those stages are
+    engine-independent), on one generated design.  Gates, full run only:
+    electro >= ``ELECTRO_SPEEDUP_MIN``x over flat B2B at
+    <= ``ELECTRO_HPWL_TOL`` HPWL regression, multilevel+electro within
+    ``ELECTRO_ML_HPWL_TOL``.  The quick run keeps the HPWL gates (the
+    design is too small for the wall-clock gate to be meaningful).
+    """
+    gd = datapath_fraction_design(f"engines_{n_cells}", n_cells, 0.55,
+                                  seed=9)
+    arrays = PlacementArrays.build(gd.netlist)
+    print(f"engine design: {gd.netlist.num_cells} cells "
+          f"(requested {n_cells})")
+    rows: dict = {"design_cells": gd.netlist.num_cells}
+
+    def run(label: str, fn) -> dict:
+        t0 = time.perf_counter()
+        res = fn()
+        dt = time.perf_counter() - t0
+        wl = hpwl_of(arrays, res.x, res.y)
+        row = {"time_s": round(dt, 3), "hpwl": round(wl, 3)}
+        print(f"  {label:<22} {dt:8.2f} s   hpwl {wl:14.1f}")
+        return row
+
+    rows["flat_b2b"] = run(
+        "flat B2B quadratic",
+        lambda: QuadraticPlacer(arrays, gd.region).place())
+    rows["electro"] = run(
+        "electro (flat)",
+        lambda: ElectrostaticPlacer(arrays, gd.region).place())
+    rows["multilevel_electro"] = run(
+        "multilevel + electro",
+        lambda: multilevel_place(arrays, gd.region, engine="electro",
+                                 ml_options=MultilevelOptions(enabled=True)))
+
+    base_t = rows["flat_b2b"]["time_s"]
+    base_wl = rows["flat_b2b"]["hpwl"]
+    for key, tol in (("electro", ELECTRO_HPWL_TOL),
+                     ("multilevel_electro", ELECTRO_ML_HPWL_TOL)):
+        rows[key]["speedup"] = round(base_t / max(rows[key]["time_s"],
+                                                  1e-9), 2)
+        delta = (rows[key]["hpwl"] - base_wl) / max(base_wl, 1e-9)
+        rows[key]["hpwl_delta"] = round(delta, 4)
+        if delta > tol:
+            failures.append(
+                f"engines: {key} HPWL {delta * 100:+.2f}% vs flat B2B "
+                f"exceeds {tol * 100:.0f}% tolerance")
+    if gate_speedup and rows["electro"]["speedup"] < ELECTRO_SPEEDUP_MIN:
+        failures.append(
+            f"engines: electro speedup {rows['electro']['speedup']:.2f}x "
+            f"< required {ELECTRO_SPEEDUP_MIN:.0f}x over flat B2B GP")
+    rows["gates"] = {
+        "speedup_min": ELECTRO_SPEEDUP_MIN if gate_speedup else None,
+        "hpwl_tol": ELECTRO_HPWL_TOL,
+        "multilevel_hpwl_tol": ELECTRO_ML_HPWL_TOL,
+    }
+    return rows
+
+
 def bench_end_to_end(sizes: tuple[int, ...]) -> list[dict]:
     """End-to-end StructureAwarePlacer wall time + final HPWL per size."""
     rows = []
@@ -233,7 +362,18 @@ def main(argv: list[str] | None = None) -> int:
                         help="small design + sizes for the CI smoke job")
     parser.add_argument("--out", default="BENCH_PERF.json",
                         help="output JSON path (default: repo root)")
+    parser.add_argument("--sections", default="kernels,engines,e2e",
+                        help="comma list of sections to run "
+                             "(kernels, engines, e2e); skipped sections "
+                             "keep their existing BENCH_PERF.json entry "
+                             "— the full engines leg runs the flat B2B "
+                             "engine at ~100k cells, which takes hours "
+                             "in pure Python")
     args = parser.parse_args(argv)
+    sections = {s.strip() for s in args.sections.split(",") if s.strip()}
+    unknown = sections - {"kernels", "engines", "e2e"}
+    if unknown:
+        parser.error(f"unknown sections: {sorted(unknown)}")
 
     # quick mode is sized for the CI smoke job: the scalar references
     # dominate its wall time and scale superlinearly, so the kernel
@@ -241,34 +381,62 @@ def main(argv: list[str] | None = None) -> int:
     n_cells = 1500 if args.quick else 20000
     n_moves = 500 if args.quick else 2000
     sizes = (400,) if args.quick else (800, 1600, 3200)
+    # engine shoot-out size: the full run requests 68k generator cells,
+    # which lands on the ~100k-cell design the electro gates are
+    # specified against; quick keeps the HPWL gates on a small design
+    engine_cells = 3000 if args.quick else 68000
     failures: list[str] = []
 
-    print("== kernel timings vs retained references ==")
-    kernels = bench_kernels(n_cells, failures, n_moves=n_moves)
-    print("== end-to-end structure-aware placement ==")
-    end_to_end = bench_end_to_end(sizes)
+    backend = get_backend(resolve_backend_name(None))
+    kernels = engines = end_to_end = None
+    with use_backend(backend):
+        if "kernels" in sections:
+            print(f"== kernel timings vs retained references "
+                  f"[backend={backend.name}] ==")
+            kernels = bench_kernels(n_cells, failures, n_moves=n_moves)
+        if "engines" in sections:
+            print("== placement engines: flat B2B vs electrostatic ==")
+            engines = bench_engines(engine_cells, failures,
+                                    gate_speedup=not args.quick)
+        if "e2e" in sections:
+            print("== end-to-end structure-aware placement ==")
+            end_to_end = bench_end_to_end(sizes)
 
-    report = {
+    report: dict = {
         "config": {
             "quick": bool(args.quick),
-            "kernel_design_cells": kernels["design_cells"],
             "equivalence_rtol": EQUIV_RTOL,
             "python": sys.version.split()[0],
             "numpy": np.__version__,
+            "backend": {"name": backend.name,
+                        "version": backend.version},
         },
-        "kernels": {k: v for k, v in kernels.items()
-                    if isinstance(v, dict)},
-        "end_to_end": end_to_end,
-        "notes": ("Timings are informational; only kernel/reference "
-                  "equivalence (1e-9 rtol) gates CI. incremental_swap "
-                  "times cover the full move batch; per-move speedup is "
-                  "the ratio."),
+        "notes": ("Kernel/reference equivalence (1e-9 rtol), workspace "
+                  "bit-identity, and the electro-engine speed/quality "
+                  "gates fail the job; other timings are informational. "
+                  "incremental_swap times cover the full move batch; "
+                  "per-move speedup is the ratio."),
     }
+    if kernels is not None:
+        report["config"]["kernel_design_cells"] = kernels["design_cells"]
+        report["kernels"] = {k: v for k, v in kernels.items()
+                             if isinstance(v, dict)}
+    if engines is not None:
+        report["engines"] = engines
+    if end_to_end is not None:
+        report["end_to_end"] = end_to_end
     out_path = Path(args.out)
-    out_path.write_text(json.dumps(report, indent=2) + "\n")
+    merged: dict = {}
+    if out_path.exists():
+        try:
+            merged = json.loads(out_path.read_text())
+        except json.JSONDecodeError:
+            merged = {}
+    merged.update(report)
+    out_path.write_text(json.dumps(merged, indent=2) + "\n")
     print(f"wrote {out_path}")
     if failures:
-        print("EQUIVALENCE FAILURES:")
+        print("GATE FAILURES:")
         for f in failures:
             print(f"  {f}")
         return 1

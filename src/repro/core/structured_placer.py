@@ -31,6 +31,8 @@ from ..place.abacus import abacus_legalize
 from ..place.arrays import PlacementArrays
 from ..place.detailed import detailed_place
 from ..place.legalize import check_legal, tetris_legalize
+from ..kernels.backend import get_backend, resolve_backend_name
+from ..place.electrostatic import ElectroOptions, ElectrostaticPlacer
 from ..place.multilevel import MultilevelOptions, multilevel_place
 from ..place.nonlinear import NonlinearOptions, NonlinearPlacer
 from ..place.quadratic import (GlobalPlaceOptions, IterationStat,
@@ -46,7 +48,13 @@ class PlacerOptions:
     """Configuration shared by both placers.
 
     Attributes:
-        engine: ``"quadratic"`` (default, fast) or ``"nonlinear"``.
+        engine: ``"quadratic"`` (default, fast), ``"nonlinear"``, or
+            ``"electro"`` (FFT electrostatic spreading with a Nesterov
+            gradient loop — the fast choice on large flat designs).
+        backend: array-backend name for the compute kernels
+            (``"numpy"`` default; ``"cupy"``/``"torch"`` when
+            installed).  ``""`` defers to the ``REPRO_BACKEND``
+            environment variable.
         structure_weight: λ for the alignment forces (structure-aware
             only).
         use_fusion: move arrays through global placement as rigid macros
@@ -67,6 +75,7 @@ class PlacerOptions:
             recoverable multilevel failure falls back to flat placement
             inside the engine (tracer event ``multilevel_fallback``).
         nonlinear: knobs for the nonlinear engine (when selected).
+        electro: knobs for the electrostatic engine (when selected).
         extraction: extraction knobs (structure-aware only).
         guard: numerical-guard knobs applied to whichever engine runs;
             a tripped guard raises :class:`~repro.errors.NumericalError`
@@ -75,6 +84,7 @@ class PlacerOptions:
     """
 
     engine: str = "quadratic"
+    backend: str = ""
     structure_weight: float = 1.0
     use_fusion: bool = False
     use_alignment: bool = True
@@ -83,6 +93,7 @@ class PlacerOptions:
     gp: GlobalPlaceOptions = field(default_factory=GlobalPlaceOptions)
     multilevel: MultilevelOptions = field(default_factory=MultilevelOptions)
     nonlinear: NonlinearOptions = field(default_factory=NonlinearOptions)
+    electro: ElectroOptions = field(default_factory=ElectroOptions)
     extraction: ExtractionOptions = field(default_factory=ExtractionOptions)
     guard: GuardOptions = field(default_factory=GuardOptions)
     seed: int = 0
@@ -406,18 +417,20 @@ def _run_engine(arrays: PlacementArrays, region: PlacementRegion,
     if resume is not None and resume.matches(arrays.num_cells):
         resume_x, resume_y = resume.x, resume.y
         resume_iteration = resume.iteration
+    backend = get_backend(resolve_backend_name(options.backend or None))
     if options.multilevel.enabled:
         result = multilevel_place(
             arrays, region,
             gp_options=options.gp, ml_options=options.multilevel,
             engine=options.engine, nonlinear_options=options.nonlinear,
+            electro_options=options.electro,
             extra_pairs_x=forces.pairs_x if forces else None,
             extra_pairs_y=forces.pairs_y if forces else None,
             groups=groups, post_solve=post_solve, tracer=tracer,
             guard=options.guard, checkpoint=checkpoint,
             atomic_groups=atomic_groups,
             resume_x=resume_x, resume_y=resume_y,
-            resume_iteration=resume_iteration)
+            resume_iteration=resume_iteration, backend=backend)
         return result.x, result.y, result.history
     if options.engine == "quadratic":
         placer = QuadraticPlacer(
@@ -425,7 +438,7 @@ def _run_engine(arrays: PlacementArrays, region: PlacementRegion,
             extra_pairs_x=forces.pairs_x if forces else None,
             extra_pairs_y=forces.pairs_y if forces else None,
             groups=groups, post_solve=post_solve, tracer=tracer,
-            guard=options.guard, checkpoint=checkpoint)
+            guard=options.guard, checkpoint=checkpoint, backend=backend)
         result = placer.place(resume_x, resume_y,
                               resume_iteration=resume_iteration)
         return result.x, result.y, result.history
@@ -434,7 +447,19 @@ def _run_engine(arrays: PlacementArrays, region: PlacementRegion,
             arrays, region, options=options.nonlinear,
             extra_pairs_x=forces.pairs_x if forces else None,
             extra_pairs_y=forces.pairs_y if forces else None,
-            guard=options.guard, checkpoint=checkpoint)
+            guard=options.guard, checkpoint=checkpoint, backend=backend)
+        result = placer.place(resume_x, resume_y)
+        history = [IterationStat(iteration=i + 1, hpwl_lower=h,
+                                 hpwl_upper=h, overflow=o, elapsed_s=0.0)
+                   for i, (h, o) in enumerate(result.history)]
+        return result.x, result.y, history
+    if options.engine == "electro":
+        placer = ElectrostaticPlacer(
+            arrays, region, options=options.electro,
+            extra_pairs_x=forces.pairs_x if forces else None,
+            extra_pairs_y=forces.pairs_y if forces else None,
+            guard=options.guard, checkpoint=checkpoint, tracer=tracer,
+            backend=backend)
         result = placer.place(resume_x, resume_y)
         history = [IterationStat(iteration=i + 1, hpwl_lower=h,
                                  hpwl_upper=h, overflow=o, elapsed_s=0.0)

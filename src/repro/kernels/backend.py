@@ -1,0 +1,394 @@
+"""Pluggable array-namespace backend (the ``xp`` facade) for all kernels.
+
+Every kernel in :mod:`repro.kernels` is written against a
+:class:`Backend` instead of a hard-wired ``import numpy``: elementwise
+and reduction math goes through ``backend.xp`` (an array namespace —
+numpy by default, cupy or torch when installed and selected), and the
+handful of *structured* primitives numpy spells idiosyncratically
+(``ufunc.reduceat``, ``np.add.at``, ``np.bincount``, 2-D FFTs) go
+through explicit :class:`Backend` methods.
+
+Three rules keep the facade honest:
+
+- **Capability table.**  Each backend declares what it can run natively
+  (:class:`Capabilities`: FFT, segment-reduce, pinned transfer).  A
+  missing capability never fails — the backend method runs the numpy
+  implementation on the host instead — but the detour is *declared*:
+  it routes through :meth:`Backend.to_host` / :meth:`Backend.to_device`
+  and is therefore counted.
+- **Explicit transfer points.**  ``to_host`` / ``to_device`` are the
+  only host↔device crossings; both count bytes (on the numpy backend
+  they are identity stand-ins, but the counters still tick, so a
+  profile taken on numpy predicts where a GPU run would copy).
+- **Selection, not detection, at call sites.**  Kernels accept an
+  optional ``backend`` argument defaulting to the process-wide active
+  backend; resolution order for the active one is explicit argument >
+  ``REPRO_BACKEND`` environment variable > ``"numpy"``.
+
+The numpy backend is the reference: with it every kernel executes the
+exact same numpy operations as before the facade existed, so results
+are bit-identical.  cupy / torch are auto-detected (never imported
+eagerly) and selecting an uninstalled one raises
+:class:`~repro.errors.OptionsError` listing what *is* available.
+"""
+
+from __future__ import annotations
+
+import os
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any, Callable, Iterator
+
+import numpy  # the host namespace — the single sanctioned numpy import
+
+from ..errors import OptionsError
+
+if TYPE_CHECKING:
+    import numpy as np
+    from ..runtime.telemetry import Tracer
+
+#: Environment variable consulted when no backend is named explicitly.
+BACKEND_ENV = "REPRO_BACKEND"
+
+#: Names this build knows how to construct (installed or not).
+KNOWN_BACKENDS = ("numpy", "cupy", "torch")
+
+
+@dataclass(frozen=True)
+class Capabilities:
+    """What a backend can run natively (no host detour).
+
+    Attributes:
+        fft: 2-D complex FFT/IFFT on device (``xp.fft``).
+        segment_reduce: CSR segment reductions via ``ufunc.reduceat``.
+        pinned_transfer: page-locked staging buffers for H2D/D2H copies.
+    """
+
+    fft: bool = True
+    segment_reduce: bool = True
+    pinned_transfer: bool = False
+
+
+class Backend:
+    """One array-namespace backend plus its structured primitives.
+
+    Attributes:
+        name: registry name (``"numpy"``, ``"cupy"``, ``"torch"``).
+        xp: the array namespace module.
+        version: the backing library's version string (part of cache
+            key material — see :func:`repro.runtime.cache.job_key`).
+        caps: capability table.
+        bytes_to_device / bytes_to_host: transfer counters in bytes,
+            monotonically increasing over the backend's lifetime.
+    """
+
+    def __init__(self, name: str, xp: Any, version: str,
+                 caps: Capabilities) -> None:
+        self.name = name
+        self.xp = xp
+        self.version = version
+        self.caps = caps
+        self.bytes_to_device = 0
+        self.bytes_to_host = 0
+
+    # -- transfers (the only host<->device crossings) ------------------
+    @property
+    def bytes_transferred(self) -> int:
+        """Total bytes crossed in either direction."""
+        return self.bytes_to_device + self.bytes_to_host
+
+    def to_device(self, array: np.ndarray) -> Any:
+        """Move a host array onto the device, counting bytes.
+
+        On the numpy backend this is an identity stand-in: no copy is
+        made, but the counter still ticks so numpy profiles predict
+        where a GPU run would transfer.
+        """
+        self.bytes_to_device += int(getattr(array, "nbytes", 0))
+        return self._device_array(array)
+
+    def to_host(self, array: Any) -> np.ndarray:
+        """Move a device array back to the host, counting bytes."""
+        self.bytes_to_host += int(getattr(array, "nbytes", 0))
+        return self._host_array(array)
+
+    def _device_array(self, array: np.ndarray) -> Any:  # overridden
+        return array
+
+    def _host_array(self, array: Any) -> np.ndarray:    # overridden
+        return array
+
+    # -- structured primitives (capability-gated) ----------------------
+    def reduceat(self, op: str, values: Any, seeds: Any) -> Any:
+        """Per-segment ``max`` / ``min`` / ``sum`` via ``reduceat``.
+
+        Backends without :attr:`Capabilities.segment_reduce` run the
+        numpy implementation on the host — a declared, counted
+        round-trip, never a silent one.
+        """
+        if op not in ("max", "min", "sum"):
+            raise OptionsError(f"unknown op {op!r}")
+        if self.caps.segment_reduce:
+            ufunc = getattr(self.xp, {"max": "maximum", "min": "minimum",
+                                      "sum": "add"}[op])
+            return ufunc.reduceat(values, seeds)
+        host_vals = self.to_host(values)
+        host_seeds = numpy.asarray(self.to_host(seeds), dtype=numpy.int64)
+        ufunc = getattr(numpy, {"max": "maximum", "min": "minimum",
+                                "sum": "add"}[op])
+        return self.to_device(ufunc.reduceat(host_vals, host_seeds))
+
+    def scatter_add(self, target: Any, index: Any, values: Any) -> None:
+        """In-place ``target[index] += values`` with repeated indices
+        (``np.add.at`` semantics); ``index`` may be a tuple for 2-D."""
+        self._scatter_add(target, index, values)
+
+    def _scatter_add(self, target: Any, index: Any, values: Any) -> None:
+        numpy.add.at(target, index, values)
+
+    def bincount(self, index: Any, weights: Any, minlength: int) -> Any:
+        """Weighted bincount (dense scatter-reduce by integer key)."""
+        return self.xp.bincount(index, weights=weights, minlength=minlength)
+
+    def fft2(self, array: Any) -> Any:
+        """2-D FFT; detours through the host when :attr:`Capabilities.fft`
+        is off (declared, counted)."""
+        if self.caps.fft:
+            return self.xp.fft.fft2(array)
+        return self.to_device(numpy.fft.fft2(self.to_host(array)))
+
+    def ifft2(self, array: Any) -> Any:
+        """2-D inverse FFT; same host detour rule as :meth:`fft2`."""
+        if self.caps.fft:
+            return self.xp.fft.ifft2(array)
+        return self.to_device(numpy.fft.ifft2(self.to_host(array)))
+
+
+class _CupyBackend(Backend):
+    """CUDA arrays via cupy.  ``reduceat`` is absent from cupy, so
+    segment reductions take the declared host detour; scatter-add uses
+    ``cupyx.scatter_add``."""
+
+    def __init__(self) -> None:
+        import cupy
+        import cupyx
+        self._cupy = cupy
+        self._scatter = cupyx.scatter_add
+        super().__init__("cupy", cupy, cupy.__version__,
+                         Capabilities(fft=True, segment_reduce=False,
+                                      pinned_transfer=True))
+
+    def _device_array(self, array: np.ndarray) -> Any:
+        return self._cupy.asarray(array)
+
+    def _host_array(self, array: Any) -> np.ndarray:
+        return self._cupy.asnumpy(array)
+
+    def _scatter_add(self, target: Any, index: Any, values: Any) -> None:
+        self._scatter(target, index, values)
+
+
+class _TorchBackend(Backend):
+    """Torch tensors through the array-API compatibility namespace.
+
+    Torch has no ``reduceat`` and no ufunc-style ``add.at``; segment
+    reductions detour through the host (declared, counted) and
+    scatter-add maps to ``index_put_(..., accumulate=True)``.
+    """
+
+    def __init__(self) -> None:
+        import torch
+        self._torch = torch
+        super().__init__("torch", torch, torch.__version__,
+                         Capabilities(fft=True, segment_reduce=False,
+                                      pinned_transfer=torch.cuda.is_available()))
+
+    def _device_array(self, array: np.ndarray) -> Any:
+        t = self._torch.from_numpy(numpy.ascontiguousarray(array))
+        return t.cuda() if self._torch.cuda.is_available() else t
+
+    def _host_array(self, array: Any) -> np.ndarray:
+        if isinstance(array, self._torch.Tensor):
+            return array.detach().cpu().numpy()
+        return numpy.asarray(array)
+
+    def _scatter_add(self, target: Any, index: Any, values: Any) -> None:
+        idx = index if isinstance(index, tuple) else (index,)
+        target.index_put_(idx, values, accumulate=True)
+
+
+def _make_numpy() -> Backend:
+    return Backend("numpy", numpy, numpy.__version__,
+                   Capabilities(fft=True, segment_reduce=True,
+                                pinned_transfer=False))
+
+
+_FACTORIES: dict[str, Callable[[], Backend]] = {
+    "numpy": _make_numpy,
+    "cupy": _CupyBackend,
+    "torch": _TorchBackend,
+}
+
+
+def register_backend(name: str, factory: Callable[[], Backend]) -> None:
+    """Register (or replace) a backend factory — the extension point the
+    backend-parametrized tests use to exercise capability fallbacks."""
+    _FACTORIES[name] = factory
+    _instances.pop(name, None)
+
+
+_instances: dict[str, Backend] = {}
+
+
+def available_backends() -> list[str]:
+    """Backend names that construct successfully on this machine."""
+    out = []
+    for name in _FACTORIES:
+        try:
+            get_backend(name)
+        except OptionsError:
+            continue
+        out.append(name)
+    return out
+
+
+def resolve_backend_name(explicit: str | None = None) -> str:
+    """Resolution order: explicit argument > ``REPRO_BACKEND`` > numpy."""
+    if explicit:
+        return explicit
+    return os.environ.get(BACKEND_ENV) or "numpy"
+
+
+def get_backend(name: str | None = None) -> Backend:
+    """The (cached) backend instance for ``name``.
+
+    Args:
+        name: registry name; None applies :func:`resolve_backend_name`.
+
+    Raises:
+        OptionsError: unknown name, or a known backend whose library is
+            not installed.
+    """
+    resolved = resolve_backend_name(name)
+    cached = _instances.get(resolved)
+    if cached is not None:
+        return cached
+    factory = _FACTORIES.get(resolved)
+    if factory is None:
+        raise OptionsError(
+            f"unknown backend {resolved!r} (known: "
+            f"{', '.join(sorted(_FACTORIES))})")
+    try:
+        backend = factory()
+    except ImportError as exc:
+        installed = [n for n in _FACTORIES
+                     if n == "numpy" or n in _instances]
+        raise OptionsError(
+            f"backend {resolved!r} is not installed ({exc}); "
+            f"available: {', '.join(sorted(set(installed) | {'numpy'}))}"
+        ) from exc
+    _instances[resolved] = backend
+    return backend
+
+
+_active: list[Backend] = []
+
+
+def active_backend() -> Backend:
+    """The process-wide default backend (numpy unless selected)."""
+    if not _active:
+        _active.append(get_backend(None))
+    return _active[-1]
+
+
+def set_backend(name: str | Backend) -> Backend:
+    """Select the process-wide default backend; returns it."""
+    backend = name if isinstance(name, Backend) else get_backend(name)
+    if _active:
+        _active[-1] = backend
+    else:
+        _active.append(backend)
+    return backend
+
+
+@contextmanager
+def use_backend(name: str | Backend) -> Iterator[Backend]:
+    """Temporarily select a backend (tests and scoped runs)."""
+    backend = name if isinstance(name, Backend) else get_backend(name)
+    _active.append(backend)
+    try:
+        yield backend
+    finally:
+        _active.pop()
+
+
+# ----------------------------------------------------------------------
+# scratch workspace
+# ----------------------------------------------------------------------
+
+class Workspace:
+    """Named, reusable scratch arrays allocated via one backend.
+
+    The density-bell and B2B-assembly kernels allocate multi-megabyte
+    scratch arrays on every call; a per-design workspace amortises the
+    allocator traffic: :meth:`take` hands back the same capacity-grown
+    buffer (sliced to the requested shape) on every call with the same
+    tag.  Buffers are *dirty* by default — callers that need zeros pass
+    ``zero=True`` and pay exactly the fill, not the allocation.
+    """
+
+    def __init__(self, backend: Backend | None = None) -> None:
+        self.backend = backend or active_backend()
+        self._bufs: dict[str, Any] = {}
+
+    def take(self, tag: str, shape: tuple[int, ...], dtype: Any = None,
+             *, zero: bool = False) -> Any:
+        """A scratch array of ``shape`` under ``tag``, reused when the
+        cached capacity suffices (each dimension grows monotonically)."""
+        xp = self.backend.xp
+        dtype = dtype or xp.float64
+        buf = self._bufs.get(tag)
+        if (buf is None or buf.dtype != dtype or buf.ndim != len(shape)
+                or any(c < s for c, s in zip(buf.shape, shape))):
+            grown = shape if buf is None else tuple(
+                max(c, s) for c, s in zip(buf.shape, shape))
+            buf = xp.empty(grown, dtype=dtype)
+            self._bufs[tag] = buf
+        view = buf[tuple(slice(0, s) for s in shape)]
+        if zero:
+            view[...] = 0
+        return view
+
+
+# ----------------------------------------------------------------------
+# telemetry integration
+# ----------------------------------------------------------------------
+
+@contextmanager
+def kernel_span(tracer: Tracer | None, name: str,
+                backend: Backend | None = None,
+                **attrs: object) -> Iterator[None]:
+    """A tracer phase annotated with the backend and its transfer delta.
+
+    Opens ``tracer.phase(name, backend=...)``; on close, stamps the
+    phase event with ``bytes_transferred`` (the backend's counter delta
+    over the span) and bumps the ``backend.bytes_to_device`` /
+    ``backend.bytes_to_host`` counters shown by ``--profile``.  A None
+    tracer makes the span free.
+    """
+    if tracer is None:
+        yield
+        return
+    b = backend or active_backend()
+    d0, h0 = b.bytes_to_device, b.bytes_to_host
+    with tracer.phase(name, backend=b.name, **attrs):
+        yield
+    d_dev = b.bytes_to_device - d0
+    d_host = b.bytes_to_host - h0
+    # the phase just closed, so its event is the most recent record;
+    # annotate it in place (attrs passed to phase() are fixed at entry)
+    tracer.events[-1]["bytes_transferred"] = d_dev + d_host
+    if d_dev:
+        tracer.incr("backend.bytes_to_device", d_dev)
+    if d_host:
+        tracer.incr("backend.bytes_to_host", d_host)

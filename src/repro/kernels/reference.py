@@ -16,6 +16,9 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING, Iterable
 
+# references are the numpy ground truth by definition — they must never
+# route through the backend facade they validate
+# repro-lint: disable=NUM04
 import numpy as np
 
 if TYPE_CHECKING:
@@ -171,6 +174,41 @@ def b2b_pairs_reference(pin_pos: np.ndarray, net_start: np.ndarray,
             add_b2b(k, lo)
             add_b2b(k, hi)
     return pairs
+
+
+def poisson_reference(rho: np.ndarray, bin_w: float,
+                      bin_h: float) -> np.ndarray:
+    """Dense O(n²) solve of the discrete Neumann Poisson problem.
+
+    Builds the 5-point Laplacian with mirrored (zero-flux) boundaries as
+    a dense matrix and solves ``-L psi = rho - mean(rho)`` by least
+    squares with the zero-mean gauge (the Neumann operator is singular;
+    its nullspace is the constant vector).  This is the ground truth the
+    FFT/DCT spectral solve of :mod:`repro.place.electrostatic` is tested
+    against on small grids.
+    """
+    nx, ny = rho.shape
+    n = nx * ny
+    L = np.zeros((n, n))
+    inv_w2 = 1.0 / (bin_w * bin_w)
+    inv_h2 = 1.0 / (bin_h * bin_h)
+    for i in range(nx):
+        for j in range(ny):
+            r = i * ny + j
+            for di, dj, inv in ((-1, 0, inv_w2), (1, 0, inv_w2),
+                                (0, -1, inv_h2), (0, 1, inv_h2)):
+                ii, jj = i + di, j + dj
+                # Neumann mirror: the ghost neighbour reflects back
+                if ii < 0 or ii >= nx:
+                    ii = i
+                if jj < 0 or jj >= ny:
+                    jj = j
+                L[r, ii * ny + jj] += inv
+                L[r, r] -= inv
+    rhs = (rho - rho.mean()).reshape(n)
+    psi, *_ = np.linalg.lstsq(-L, rhs, rcond=None)
+    psi -= psi.mean()
+    return psi.reshape(nx, ny)
 
 
 def incident_cost_reference(netlist: Netlist,

@@ -6,16 +6,24 @@ All kernels operate on the flat CSR layout of
 ``j`` occupy ``values[net_start[j]:net_start[j+1]]``.  Segments must be
 non-empty (``ufunc.reduceat`` is undefined on empty segments; degree-0
 nets never reach these kernels because the array builders drop them).
+
+Array math routes through the :mod:`repro.kernels.backend` facade; the
+``reduceat`` primitive is capability-gated there (backends without
+native segment-reduce take a declared, counted host detour).
 """
 
 from __future__ import annotations
 
-import numpy as np
-from ..errors import OptionsError
+from typing import TYPE_CHECKING
+
+from .backend import Backend, active_backend
+
+if TYPE_CHECKING:
+    import numpy as np
 
 
 def segment_reduce(values: np.ndarray, starts: np.ndarray,
-                   op: str) -> np.ndarray:
+                   op: str, backend: Backend | None = None) -> np.ndarray:
     """Per-segment max, min, or sum of a per-pin array via ``reduceat``.
 
     Args:
@@ -23,45 +31,49 @@ def segment_reduce(values: np.ndarray, starts: np.ndarray,
         starts: (M+1,) CSR offsets; only ``starts[:-1]`` seeds the
             reduction.
         op: ``"max"``, ``"min"``, or ``"sum"``.
+        backend: array backend (defaults to the active one).
     """
+    b = backend or active_backend()
     if len(starts) <= 1:
-        return np.empty(0, dtype=values.dtype)
-    if op == "max":
-        return np.maximum.reduceat(values, starts[:-1])
-    if op == "min":
-        return np.minimum.reduceat(values, starts[:-1])
-    if op == "sum":
-        return np.add.reduceat(values, starts[:-1])
-    raise OptionsError(f"unknown op {op!r}")
+        return b.xp.empty(0, dtype=values.dtype)
+    return b.reduceat(op, values, starts[:-1])
 
 
-def expand_pin_net(net_start: np.ndarray) -> np.ndarray:
+def expand_pin_net(net_start: np.ndarray,
+                   backend: Backend | None = None) -> np.ndarray:
     """(P,) net index of every pin — the inverse of the CSR ranges."""
-    degrees = np.diff(net_start)
-    return np.repeat(np.arange(len(degrees), dtype=np.int64), degrees)
+    xp = (backend or active_backend()).xp
+    degrees = xp.diff(net_start)
+    return xp.repeat(xp.arange(len(degrees), dtype=xp.int64), degrees)
 
 
-def net_bounds(coords: np.ndarray, starts: np.ndarray
+def net_bounds(coords: np.ndarray, starts: np.ndarray,
+               backend: Backend | None = None
                ) -> tuple[np.ndarray, np.ndarray]:
     """Per-net (min, max) of a per-pin coordinate array."""
-    return (segment_reduce(coords, starts, "min"),
-            segment_reduce(coords, starts, "max"))
+    return (segment_reduce(coords, starts, "min", backend),
+            segment_reduce(coords, starts, "max", backend))
 
 
 def hpwl_per_net_kernel(px: np.ndarray, py: np.ndarray,
-                        starts: np.ndarray) -> np.ndarray:
+                        starts: np.ndarray,
+                        backend: Backend | None = None) -> np.ndarray:
     """(M,) unweighted HPWL of each net from flat pin positions."""
+    b = backend or active_backend()
     if len(starts) <= 1:
-        return np.empty(0)
+        return b.xp.empty(0)
     seeds = starts[:-1]
-    return ((np.maximum.reduceat(px, seeds) - np.minimum.reduceat(px, seeds))
-            + (np.maximum.reduceat(py, seeds)
-               - np.minimum.reduceat(py, seeds)))
+    return ((b.reduceat("max", px, seeds) - b.reduceat("min", px, seeds))
+            + (b.reduceat("max", py, seeds)
+               - b.reduceat("min", py, seeds)))
 
 
 def hpwl_kernel(px: np.ndarray, py: np.ndarray, starts: np.ndarray,
-                weights: np.ndarray) -> float:
+                weights: np.ndarray,
+                backend: Backend | None = None) -> float:
     """Total weighted HPWL from flat pin positions."""
+    b = backend or active_backend()
     if len(starts) <= 1:
         return 0.0
-    return float(np.dot(weights, hpwl_per_net_kernel(px, py, starts)))
+    return float(b.xp.dot(weights,
+                          hpwl_per_net_kernel(px, py, starts, backend=b)))

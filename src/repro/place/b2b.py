@@ -27,6 +27,7 @@ from typing import TYPE_CHECKING
 
 from ..errors import NumericalError
 from ..kernels import assemble_pairs, b2b_pairs, expand_pin_net
+from ..kernels.backend import Backend, Workspace, active_backend
 from .arrays import PlacementArrays
 
 if TYPE_CHECKING:
@@ -52,7 +53,8 @@ class QuadraticSystem:
 
     def solve(self, x0: np.ndarray | None = None, tol: float = 1e-8,
               max_iterations: int = 200,
-              M: LinearOperator | None = None) -> np.ndarray:
+              M: LinearOperator | None = None, *,
+              direct_fallback: bool = True) -> np.ndarray:
         """Solve with preconditioned CG (SPD system); returns (m,).
 
         Args:
@@ -67,6 +69,12 @@ class QuadraticSystem:
             M: optional preconditioner operator (e.g. from
                 :meth:`ilu_preconditioner`, possibly factored from an
                 earlier nearby system); defaults to Jacobi.
+            direct_fallback: when False, an unconverged-but-finite CG
+                iterate is returned as-is instead of escalating to the
+                direct solver.  Callers that only need an approximate
+                solution (the electrostatic engine's initial wirelength
+                clump) use this to avoid a superlinear factorization on
+                the degenerate cold-start systems.
 
         Raises:
             NumericalError: the system itself is poisoned (non-finite
@@ -101,6 +109,9 @@ class QuadraticSystem:
                        maxiter=max(int(max_iterations), 1),
                        M=precond, callback=count)
         self.last_cg_iterations = iterations
+        if info > 0 and not direct_fallback \
+                and np.all(np.isfinite(sol)):
+            return sol
         if info > 0 or not np.all(np.isfinite(sol)):
             # not converged (or diverged): fall back to a direct solve
             from scipy.sparse.linalg import spsolve
@@ -178,14 +189,27 @@ def _as_pair_arrays(extra_pairs) -> tuple[np.ndarray, np.ndarray,
 
 
 class B2BBuilder:
-    """Reusable builder for per-axis B2B systems plus anchor terms."""
+    """Reusable builder for per-axis B2B systems plus anchor terms.
 
-    def __init__(self, arrays: PlacementArrays) -> None:
+    Args:
+        arrays: flattened netlist.
+        backend: array backend the pair/assembly kernels run on
+            (defaults to the active one).  A per-builder
+            :class:`~repro.kernels.backend.Workspace` reuses the pair
+            enumeration scratch across axis builds — same values, no
+            per-call allocation.
+    """
+
+    def __init__(self, arrays: PlacementArrays,
+                 backend: Backend | None = None) -> None:
         self.arrays = arrays
+        self.backend = backend or active_backend()
+        self.workspace = Workspace(self.backend)
         self.movable_cells = np.nonzero(arrays.movable)[0]
         self._row_of = np.full(arrays.num_cells, -1, dtype=np.int64)
         self._row_of[self.movable_cells] = np.arange(len(self.movable_cells))
-        self._pin_net = expand_pin_net(arrays.net_start)
+        self._pin_net = expand_pin_net(arrays.net_start,
+                                       backend=self.backend)
 
     @property
     def num_movable(self) -> int:
@@ -228,7 +252,8 @@ class B2BBuilder:
 
         ca, cb, w, const = b2b_pairs(
             pin_pos, arrays.net_start, arrays.net_weight, arrays.pin_cell,
-            offsets, self._pin_net, min_distance)
+            offsets, self._pin_net, min_distance,
+            backend=self.backend, workspace=self.workspace)
         eca, ecb, ew, econst = _as_pair_arrays(extra_pairs)
         if eca.size:
             ca = np.concatenate([ca, eca])
@@ -237,7 +262,8 @@ class B2BBuilder:
             const = np.concatenate([const, econst])
 
         diag, b, rows, cols, vals = assemble_pairs(
-            ca, cb, w, const, self._row_of, coords, m)
+            ca, cb, w, const, self._row_of, coords, m,
+            backend=self.backend)
 
         if anchors is not None:
             aw = np.broadcast_to(np.asarray(anchor_weight, dtype=float),
@@ -251,6 +277,35 @@ class B2BBuilder:
         A = sp.coo_matrix((vals, (rows, cols)), shape=(m, m)).tocsr()
         A = A + sp.diags(diag + 1e-9)  # tiny ridge keeps A SPD when isolated
         return QuadraticSystem(A=A.tocsr(), b=b, cells=self.movable_cells)
+
+    # ------------------------------------------------------------------
+    def grad_axis(self, coords: np.ndarray, offsets: np.ndarray,
+                  extra_pairs: list[tuple[int, int, float, float]] | None = None,
+                  min_distance: float = _EPS) -> tuple[float, np.ndarray]:
+        """Value and (N,) gradient of the B2B quadratic cost at the
+        current linearisation point — no sparse assembly.
+
+        The electrostatic engine's Nesterov loop consumes ``dWL/dx``
+        directly every iteration; enumerating the pairs and folding them
+        with :func:`repro.kernels.b2b.b2b_grad` skips the COO→CSR
+        conversion the solve path pays.  Fixed-cell entries of the
+        returned gradient are meaningless and must be masked by the
+        caller.
+        """
+        from ..kernels import b2b_grad
+        arrays = self.arrays
+        pin_pos = coords[arrays.pin_cell] + offsets
+        ca, cb, w, const = b2b_pairs(
+            pin_pos, arrays.net_start, arrays.net_weight, arrays.pin_cell,
+            offsets, self._pin_net, min_distance,
+            backend=self.backend, workspace=self.workspace)
+        eca, ecb, ew, econst = _as_pair_arrays(extra_pairs)
+        if eca.size:
+            ca = np.concatenate([ca, eca])
+            cb = np.concatenate([cb, ecb])
+            w = np.concatenate([w, ew])
+            const = np.concatenate([const, econst])
+        return b2b_grad(ca, cb, w, const, coords, backend=self.backend)
 
     # ------------------------------------------------------------------
     def build_axis_reference(self, coords: np.ndarray, offsets: np.ndarray,

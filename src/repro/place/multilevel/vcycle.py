@@ -40,8 +40,10 @@ from .coarsen import build_coarse_netlist, interpolate_positions
 from .options import MultilevelOptions
 
 if TYPE_CHECKING:
+    from ...kernels.backend import Backend
     from ...robust.checkpoint import CheckpointHook
     from ...robust.guards import GuardOptions
+    from ..electrostatic import ElectroOptions
     from ..nonlinear import NonlinearOptions
 
 
@@ -124,6 +126,7 @@ def multilevel_place(arrays: PlacementArrays, region: PlacementRegion, *,
                      ml_options: MultilevelOptions | None = None,
                      engine: str = "quadratic",
                      nonlinear_options: NonlinearOptions | None = None,
+                     electro_options: ElectroOptions | None = None,
                      extra_pairs_x: list[tuple[int, int, float,
                                                float]] | None = None,
                      extra_pairs_y: list[tuple[int, int, float,
@@ -137,7 +140,8 @@ def multilevel_place(arrays: PlacementArrays, region: PlacementRegion, *,
                      atomic_groups: list[list[int]] | None = None,
                      resume_x: np.ndarray | None = None,
                      resume_y: np.ndarray | None = None,
-                     resume_iteration: int = 0) -> GlobalPlaceResult:
+                     resume_iteration: int = 0,
+                     backend: Backend | None = None) -> GlobalPlaceResult:
     """Run multilevel global placement; drop-in for a flat engine call.
 
     Args:
@@ -146,7 +150,9 @@ def multilevel_place(arrays: PlacementArrays, region: PlacementRegion, *,
         gp_options / nonlinear_options: engine knobs; refinement passes
             derive per-level budgets from them.
         ml_options: V-cycle knobs.
-        engine: ``"quadratic"`` or ``"nonlinear"``.
+        engine: ``"quadratic"``, ``"nonlinear"``, or ``"electro"``
+            (the FFT electrostatic spreader — V-cycle refinement runs
+            short warm-started Nesterov passes per level).
         extra_pairs_x / extra_pairs_y: fine-level alignment pairs;
             projected through the cluster maps onto every level.
         groups / post_solve / checkpoint: finest-level-only hooks (rigid
@@ -156,6 +162,7 @@ def multilevel_place(arrays: PlacementArrays, region: PlacementRegion, *,
         resume_x / resume_y / resume_iteration: a checkpoint — taken
             during finest-level refinement, so resumption continues flat
             from those positions (coarser levels are already paid for).
+        backend: array backend threaded into every level's engine.
 
     Returns:
         The finest-level result; ``history`` concatenates every level's
@@ -173,7 +180,18 @@ def multilevel_place(arrays: PlacementArrays, region: PlacementRegion, *,
                 arrays, region,
                 options=nonlinear_options or NonlinearOptions(),
                 extra_pairs_x=extra_pairs_x, extra_pairs_y=extra_pairs_y,
-                guard=guard, checkpoint=checkpoint)
+                guard=guard, checkpoint=checkpoint, backend=backend)
+            res = placer.place(x0, y0)
+            return GlobalPlaceResult(x=res.x, y=res.y,
+                                     history=_nl_history(res.history, 0))
+        if engine == "electro":
+            from ..electrostatic import ElectroOptions, ElectrostaticPlacer
+            placer = ElectrostaticPlacer(
+                arrays, region,
+                options=electro_options or ElectroOptions(),
+                extra_pairs_x=extra_pairs_x, extra_pairs_y=extra_pairs_y,
+                guard=guard, checkpoint=checkpoint, tracer=tracer,
+                backend=backend)
             res = placer.place(x0, y0)
             return GlobalPlaceResult(x=res.x, y=res.y,
                                      history=_nl_history(res.history, 0))
@@ -181,7 +199,8 @@ def multilevel_place(arrays: PlacementArrays, region: PlacementRegion, *,
             arrays, region, options=gp,
             extra_pairs_x=extra_pairs_x, extra_pairs_y=extra_pairs_y,
             groups=groups, post_solve=post_solve, tracer=tracer,
-            guard=guard, checkpoint=checkpoint, warm_seed=warm_seed)
+            guard=guard, checkpoint=checkpoint, warm_seed=warm_seed,
+            backend=backend)
         result = placer.place(x0, y0, resume_iteration=resume_it)
         return result
 
@@ -220,7 +239,7 @@ def multilevel_place(arrays: PlacementArrays, region: PlacementRegion, *,
                     tracer=tracer, guard=guard,
                     checkpoint=checkpoint if k == 0 else None,
                     warm_seed=warm_seed, preconditioner=preconditioner,
-                    min_distance=min_distance)
+                    min_distance=min_distance, backend=backend)
 
             def nonlinear_place(k: int, x0, y0, offset: int,
                                 refining: bool) -> GlobalPlaceResult:
@@ -233,7 +252,29 @@ def multilevel_place(arrays: PlacementArrays, region: PlacementRegion, *,
                 placer = NonlinearPlacer(
                     levels[k].arrays, region, options=nl,
                     extra_pairs_x=px, extra_pairs_y=py, guard=guard,
-                    checkpoint=checkpoint if k == 0 else None)
+                    checkpoint=checkpoint if k == 0 else None,
+                    backend=backend)
+                res = placer.place(x0, y0)
+                return GlobalPlaceResult(
+                    x=res.x, y=res.y,
+                    history=_nl_history(res.history, offset))
+
+            def electro_place(k: int, x0, y0, offset: int,
+                              refining: bool) -> GlobalPlaceResult:
+                from ..electrostatic import (ElectroOptions,
+                                             ElectrostaticPlacer)
+                px, py = level_pairs(k)
+                eo = electro_options or ElectroOptions()
+                if refining:
+                    # warm start: refine_iterations probe rounds of the
+                    # (cheap) Nesterov loop per level
+                    eo = replace(eo, max_iterations=max(
+                        1, int(ml.refine_iterations)) * eo.overflow_every)
+                placer = ElectrostaticPlacer(
+                    levels[k].arrays, region, options=eo,
+                    extra_pairs_x=px, extra_pairs_y=py, guard=guard,
+                    checkpoint=checkpoint if k == 0 else None,
+                    tracer=tracer, backend=backend)
                 res = placer.place(x0, y0)
                 return GlobalPlaceResult(
                     x=res.x, y=res.y,
@@ -245,6 +286,9 @@ def multilevel_place(arrays: PlacementArrays, region: PlacementRegion, *,
                 if engine == "nonlinear":
                     res = nonlinear_place(top, None, None, 0,
                                           refining=False)
+                elif engine == "electro":
+                    res = electro_place(top, None, None, 0,
+                                        refining=False)
                 else:
                     opts_c = replace(gp, max_iterations=min(
                         gp.max_iterations,
@@ -274,6 +318,9 @@ def multilevel_place(arrays: PlacementArrays, region: PlacementRegion, *,
                     if engine == "nonlinear":
                         res = nonlinear_place(k, x0f, y0f, it,
                                               refining=True)
+                    elif engine == "electro":
+                        res = electro_place(k, x0f, y0f, it,
+                                            refining=True)
                     else:
                         # ILU policy: a fresh incomplete factor per
                         # solve (the B2B linearisation drifts between

@@ -37,14 +37,17 @@ from typing import Iterator
 
 from ..core import PlacerOptions
 from ..errors import CacheCorruptionError, OptionsError
+from ..kernels.backend import get_backend, resolve_backend_name
 from ..netlist import Netlist
 from ..robust.faults import fault_fires
 from .telemetry import Tracer
 
-# Bumped to 3 when multilevel options joined the canonical option dict
-# (a schema-2 artifact's positions could otherwise be served for a job
-# whose V-cycle knobs it never saw).
-CACHE_SCHEMA = 3
+# Bumped to 4 when the array backend (name + library version) joined the
+# key material: positions computed by one backend/library build must not
+# be served for a job that would run on another — floating-point results
+# are only bit-reproducible within a single backend build.
+# (3: multilevel options joined the canonical option dict.)
+CACHE_SCHEMA = 4
 
 
 def _code_version() -> str:
@@ -81,6 +84,24 @@ def netlist_fingerprint(netlist: Netlist) -> str:
     return h.hexdigest()
 
 
+def _backend_fingerprint(options: PlacerOptions | None) -> dict:
+    """Backend identity for the key: resolved name + library version.
+
+    The name alone is not enough — a numpy (or cupy) upgrade can change
+    bit-level results, so the resolved backend's library version is part
+    of the key material too.
+    """
+    name = resolve_backend_name(
+        (options.backend or None) if options is not None else None)
+    try:
+        version = get_backend(name).version
+    except OptionsError:
+        # unresolvable backend (library missing): still key on the name;
+        # the job itself will fail with the real error
+        version = "unavailable"
+    return {"name": name, "version": version}
+
+
 def job_key(netlist: Netlist, placer: str,
             options: PlacerOptions | None, seed: int) -> str:
     """Content-addressed key for one (design, placer, options, seed) run."""
@@ -90,6 +111,7 @@ def job_key(netlist: Netlist, placer: str,
         "netlist": netlist_fingerprint(netlist),
         "placer": placer,
         "options": canonical_options(options or PlacerOptions()),
+        "backend": _backend_fingerprint(options),
         "seed": seed,
     }
     blob = json.dumps(payload, sort_keys=True).encode()

@@ -106,6 +106,60 @@ class TestStructureAwarePlacer:
         out = StructureAwarePlacer(opts).place(d.netlist, d.region)
         assert out.legal
 
+    def test_electro_engine_runs(self):
+        d = compose_design("el", [UnitSpec("ripple_adder", 4)],
+                           glue_cells=40, seed=2)
+        opts = PlacerOptions(engine="electro")
+        out = StructureAwarePlacer(opts).place(d.netlist, d.region)
+        assert out.legal
+
+    def test_electro_engine_multilevel_runs(self):
+        from repro.place.multilevel import MultilevelOptions
+        d = compose_design("elml", [UnitSpec("ripple_adder", 4)],
+                           glue_cells=40, seed=2)
+        opts = PlacerOptions(engine="electro",
+                             multilevel=MultilevelOptions(enabled=True))
+        out = StructureAwarePlacer(opts).place(d.netlist, d.region)
+        assert out.legal
+
+    def test_electro_spreads_below_target_overflow(self):
+        from repro.place import PlacementArrays
+        from repro.place.density import overflow
+        from repro.place.electrostatic import (ElectroOptions,
+                                               ElectrostaticPlacer)
+        d = compose_design("elovf", [UnitSpec("ripple_adder", 8)],
+                           glue_cells=200, seed=6)
+        arrays = PlacementArrays.build(d.netlist)
+        placer = ElectrostaticPlacer(arrays, d.region,
+                                     options=ElectroOptions())
+        res = placer.place()
+        assert res.final_overflow <= placer.options.target_overflow
+        got = overflow(arrays, res.x, res.y, placer.grid)
+        assert got == pytest.approx(res.final_overflow, rel=1e-9)
+
+    def test_electro_deterministic(self):
+        from repro.place import PlacementArrays
+        from repro.place.electrostatic import ElectrostaticPlacer
+        d = compose_design("eldet", [UnitSpec("ripple_adder", 4)],
+                           glue_cells=60, seed=3)
+        arrays = PlacementArrays.build(d.netlist)
+        a = ElectrostaticPlacer(arrays, d.region).place()
+        b = ElectrostaticPlacer(arrays, d.region).place()
+        np.testing.assert_array_equal(a.x, b.x)
+        np.testing.assert_array_equal(a.y, b.y)
+
+    def test_electro_guard_raises_on_injected_nan(self, monkeypatch):
+        from repro.errors import NumericalError
+        from repro.place import PlacementArrays
+        from repro.place.electrostatic import ElectrostaticPlacer
+        from repro.robust import faults
+        d = compose_design("elnan", [UnitSpec("ripple_adder", 4)],
+                           glue_cells=40, seed=2)
+        arrays = PlacementArrays.build(d.netlist)
+        monkeypatch.setenv(faults.ENV_VAR, "solver_nan:*")
+        with pytest.raises(NumericalError):
+            ElectrostaticPlacer(arrays, d.region).place()
+
 
 class TestGroupsAndAlignment:
     def test_plan_offsets_cover_all_cells(self, small_design_factory):

@@ -81,6 +81,28 @@ class TestCacheKeys:
         other_placer = job_key(netlist, "baseline", PlacerOptions(), 0)
         assert len({base, tweaked, reseeded, other_placer}) == 4
 
+    def test_key_changes_with_backend_identity(self, monkeypatch):
+        """Backend name + library version are key material (schema 4)."""
+        import numpy
+
+        from repro.kernels.backend import BACKEND_ENV
+        netlist = build_design("dp_add8").netlist
+        monkeypatch.delenv(BACKEND_ENV, raising=False)
+        base = job_key(netlist, "structure", PlacerOptions(), 0)
+        named = job_key(netlist, "structure",
+                        PlacerOptions(backend="numpy"), 0)
+        # an explicit numpy selection differs from the default only in
+        # the options dict, never in the backend fingerprint
+        other = job_key(netlist, "structure",
+                        PlacerOptions(backend="cupy"), 0)
+        assert base != other and named != other
+        # a library upgrade must invalidate: fake a version change
+        monkeypatch.setattr(numpy, "__version__", "999.0.0")
+        from repro.kernels import backend as backend_mod
+        monkeypatch.setattr(backend_mod, "_instances", {})
+        upgraded = job_key(netlist, "structure", PlacerOptions(), 0)
+        assert upgraded != base
+
     def test_artifact_store_round_trip(self, tmp_path):
         cache = ArtifactCache(tmp_path)
         assert cache.get("ab" * 32) is None
