@@ -1,0 +1,205 @@
+"""Zero-copy arena dispatch vs per-job rebuild, with hard gates.
+
+Measures the batch fan-out cost of the shared-memory netlist arena
+transport (:mod:`repro.runtime.shm`) against the legacy rebuild-in-
+worker dispatch, and gates CI on the contract the subsystem promises:
+
+- **Identity**: a parallel shm batch (workers=4) produces placements
+  and cache keys bit-identical to the serial in-process run.
+- **Single shipment**: a repeated-design batch exports the netlist
+  exactly once (``arena.exports == 1``); every job carries only an
+  :class:`~repro.runtime.shm.ArenaRef` — pickled payload per job is
+  constant and small (< 4 KiB), independent of batch size.
+- **Speed**: warm-cache fan-out (the dispatch-dominated regime: every
+  job is an artifact-cache hit, so per-job cost is transport + key
+  computation) must be at least ``SPEEDUP_MIN`` (2x) faster with
+  arenas than with per-job rebuilds at workers=4.
+
+Results merge into ``BENCH_PERF.json`` (existing sections preserved)
+under an ``"arena"`` key.  Exit status 1 on any gate failure.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_arena.py [--quick]
+        [--out BENCH_PERF.json]
+
+``--quick`` shrinks the batch for the CI perf-smoke job; all gates
+still apply.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.runtime import ArtifactCache
+from repro.runtime.executor import BatchExecutor
+from repro.runtime.jobs import PlacementJob
+from repro.runtime.telemetry import Tracer
+
+SPEEDUP_MIN = 2.0      # warm fan-out, arena vs rebuild, workers=4
+PAYLOAD_MAX = 4096     # pickled per-job payload ceiling (bytes)
+WORKERS = 4
+
+
+def _jobs(design: str, unique_seeds: int, total: int) -> list[PlacementJob]:
+    """``total`` jobs cycling over ``unique_seeds`` distinct seeds."""
+    return [PlacementJob(design=design, placer="structure",
+                         seed=s % unique_seeds) for s in range(total)]
+
+
+def check_identity(design: str, seeds: int,
+                   failures: list[str]) -> dict:
+    """Serial vs parallel-shm bit-identity on a cold (uncached) batch."""
+    jobs = _jobs(design, seeds, seeds)
+    serial = BatchExecutor(0).run(jobs)
+    tracer = Tracer()
+    parallel = BatchExecutor(WORKERS, shm=True).run(jobs, tracer=tracer)
+    identical = True
+    for rs, rp in zip(serial, parallel):
+        if not (rs.ok and rp.ok):
+            failures.append(f"{design}: job seed={rs.job.seed} failed "
+                            f"(serial ok={rs.ok}, parallel ok={rp.ok})")
+            identical = False
+            continue
+        # positions are name -> (x, y) snapshots; dict equality is the
+        # bit-exact comparison (floats compare by value, no tolerance)
+        if rs.key != rp.key or rs.positions != rp.positions:
+            failures.append(f"{design}: seed={rs.job.seed} parallel shm "
+                            "placement differs from serial")
+            identical = False
+    transports = {r.transport for r in parallel}
+    if transports != {"shm"}:
+        failures.append(f"{design}: expected pure shm transport, "
+                        f"got {sorted(map(str, transports))}")
+    exports = tracer.count("arena.exports")
+    if exports != 1:
+        failures.append(f"{design}: netlist exported {exports} times "
+                        "for one repeated design (expected 1)")
+    print(f"  identity @ {design}: {seeds} seeds, "
+          f"identical={identical}, exports={exports}")
+    return {"design": design, "seeds": seeds, "identical": identical,
+            "exports": exports}
+
+
+def _timed_warm_run(jobs: list[PlacementJob], cache: ArtifactCache,
+                    shm: bool) -> tuple[float, Tracer]:
+    tracer = Tracer()
+    t0 = time.perf_counter()
+    results = BatchExecutor(WORKERS, cache=cache, shm=shm).run(
+        jobs, tracer=tracer)
+    dt = time.perf_counter() - t0
+    assert all(r.ok for r in results)
+    return dt, tracer
+
+
+def check_fanout(design: str, unique_seeds: int, total: int,
+                 failures: list[str]) -> dict:
+    """Warm-cache fan-out: every job a cache hit, dispatch dominates."""
+    with tempfile.TemporaryDirectory() as tmp:
+        cache = ArtifactCache(tmp)
+        cold_tracer = Tracer()
+        cold = BatchExecutor(WORKERS, cache=cache, shm=True).run(
+            _jobs(design, unique_seeds, unique_seeds),
+            tracer=cold_tracer)
+        if not all(r.ok for r in cold):
+            failures.append(f"{design}: cold cache-priming batch failed")
+            return {"design": design, "failed": True}
+
+        jobs = _jobs(design, unique_seeds, total)
+        # two rounds per transport, keep the best, so a one-off
+        # scheduling hiccup cannot flip the gate
+        arena_runs = [_timed_warm_run(jobs, cache, shm=True)
+                      for _ in range(2)]
+        rebuild_runs = [_timed_warm_run(jobs, cache, shm=False)
+                        for _ in range(2)]
+        arena_s = min(dt for dt, _ in arena_runs)
+        rebuild_s = min(dt for dt, _ in rebuild_runs)
+        warm_tracer = arena_runs[-1][1]
+
+    hits = warm_tracer.count("cache.hit")
+    if hits != total:
+        failures.append(f"{design}: warm batch had {hits}/{total} "
+                        "cache hits — fan-out times are not comparable")
+    shipped = warm_tracer.count("transport.bytes")
+    per_job = shipped // max(warm_tracer.count("transport.shm"), 1)
+    if per_job <= 0 or per_job > PAYLOAD_MAX:
+        failures.append(f"{design}: per-job shm payload {per_job} B "
+                        f"outside (0, {PAYLOAD_MAX}]")
+    speedup = rebuild_s / max(arena_s, 1e-9)
+    if speedup < SPEEDUP_MIN:
+        failures.append(
+            f"{design}: warm fan-out speedup {speedup:.2f}x < required "
+            f"{SPEEDUP_MIN:.1f}x (arena {arena_s:.3f}s vs rebuild "
+            f"{rebuild_s:.3f}s, {total} jobs, workers={WORKERS})")
+    print(f"  fan-out @ {design}: {total} warm jobs   "
+          f"arena {arena_s:6.3f} s   rebuild {rebuild_s:6.3f} s   "
+          f"{speedup:5.2f}x   {per_job} B/job")
+    return {"design": design, "jobs": total,
+            "unique_seeds": unique_seeds, "workers": WORKERS,
+            "arena_s": round(arena_s, 4),
+            "rebuild_s": round(rebuild_s, 4),
+            "speedup": round(speedup, 2),
+            "bytes_per_job": int(per_job),
+            "cache_hits": hits}
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true",
+                        help="smaller batch for the CI smoke job "
+                             "(all gates still apply)")
+    parser.add_argument("--out", default="BENCH_PERF.json",
+                        help="merged output JSON path (default: repo root)")
+    args = parser.parse_args(argv)
+
+    identity_seeds = 2 if args.quick else 4
+    unique_seeds = 4 if args.quick else 8
+    total = 32 if args.quick else 96
+    failures: list[str] = []
+
+    print("== serial vs parallel-shm identity ==")
+    identity = check_identity("dp_add8", identity_seeds, failures)
+    print("== warm-cache fan-out: arena vs rebuild ==")
+    fanout = check_fanout("dp_mix32", unique_seeds, total, failures)
+
+    section = {
+        "config": {
+            "quick": bool(args.quick),
+            "workers": WORKERS,
+            "speedup_min": SPEEDUP_MIN,
+            "payload_max_bytes": PAYLOAD_MAX,
+            "python": sys.version.split()[0],
+            "numpy": np.__version__,
+        },
+        "identity": identity,
+        "fanout": fanout,
+        "gates_passed": not failures,
+    }
+    out_path = Path(args.out)
+    report: dict = {}
+    if out_path.exists():
+        try:
+            report = json.loads(out_path.read_text())
+        except json.JSONDecodeError:
+            report = {}
+    report["arena"] = section
+    out_path.write_text(json.dumps(report, indent=2) + "\n")
+    print(f"wrote {out_path} (arena section "
+          f"{'merged' if len(report) > 1 else 'created'})")
+    if failures:
+        print("GATE FAILURES:")
+        for f in failures:
+            print(f"  {f}")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

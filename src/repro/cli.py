@@ -150,7 +150,8 @@ def _cmd_place(args: argparse.Namespace) -> int:
     # suite designs route through the batch runtime so --workers applies
     suite_result = run_suite([args.design], placers, workers=args.workers,
                              seed=args.seed, options=options,
-                             fallback=not args.no_fallback)
+                             fallback=not args.no_fallback,
+                             shm=not args.no_shm)
     rows = []
     for result in suite_result.results:
         if not result.ok:
@@ -220,6 +221,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
         retries=args.retries,
         checkpoint_dir=checkpoint_dir,
         fallback=not args.no_fallback,
+        shm=not args.no_shm,
     )
     if args.json:
         print(json.dumps({"rows": suite_result.rows(),
@@ -269,6 +271,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         timeout_s=args.timeout,
         pool=args.pool,
         fallback=not args.no_fallback,
+        shm=not args.no_shm,
         stall_timeout_s=args.stall_timeout,
         scan_interval_s=args.scan_interval,
         max_attempts=args.max_attempts,
@@ -437,6 +440,10 @@ def main(argv: list[str] | None = None) -> int:
                        help="run seed (part of the cache key)")
         p.add_argument("--workers", type=int, default=0,
                        help="process-pool size (0 = serial in-process)")
+        p.add_argument("--no-shm", action="store_true",
+                       help="disable shared-memory arena dispatch to "
+                            "pool workers (each job rebuilds its design "
+                            "in the worker instead)")
         p.add_argument("--json", action="store_true",
                        help="emit results as JSON instead of a table")
         p.add_argument("--no-fallback", action="store_true",
@@ -528,8 +535,13 @@ def main(argv: list[str] | None = None) -> int:
                          help="per-job timeout in seconds (with --pool)")
     p_serve.add_argument("--pool", action="store_true",
                          help="run each job in a process pool for crash/"
-                              "timeout isolation (cancel tokens do not "
-                              "cross the process boundary)")
+                              "timeout isolation (cancel tokens cross "
+                              "the process boundary via the shared-"
+                              "memory cancel board)")
+    p_serve.add_argument("--no-shm", action="store_true",
+                         help="disable shared-memory arena dispatch to "
+                              "pool workers (designs are rebuilt "
+                              "per-job in the worker instead)")
     p_serve.add_argument("--stall-timeout", type=float, default=30.0,
                          help="seconds without a lease heartbeat before "
                               "a running job is declared stuck, "

@@ -31,8 +31,11 @@ Kernel inventory:
 - :mod:`~repro.kernels.b2b` — bound-to-bound boundary-pin selection,
   pair/system assembly for the quadratic engine, and the direct pair
   gradient (:func:`b2b_grad`) for the electrostatic engine.
+- :mod:`~repro.kernels.arena` — CSR net-filter compaction so the
+  placement array builder consumes shared-memory arenas directly.
 """
 
+from .arena import compact_csr
 from .b2b import assemble_pairs, b2b_grad, b2b_pairs, boundary_pins
 from .backend import (Backend, Capabilities, Workspace, active_backend,
                       available_backends, get_backend, kernel_span,
@@ -55,6 +58,7 @@ __all__ = [
     "b2b_pairs",
     "bell_value_grad",
     "boundary_pins",
+    "compact_csr",
     "expand_pin_net",
     "get_backend",
     "hpwl_kernel",

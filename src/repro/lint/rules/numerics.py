@@ -44,9 +44,10 @@ _SOLVERS = {
 _GUARDED_SCOPES = ("repro/place/", "repro/core/")
 
 #: attribute names whose comparison against 0.0 is a documented sentinel
-#: (the ``net.weight == 0.0`` skip checks: weights are assigned exactly,
+#: (the ``net.weight == 0.0`` skip checks and their vectorised arena
+#: twin ``arena.net_weight != 0.0``: weights are assigned exactly,
 #: never computed, so exact equality is the contract).
-_SENTINEL_ATTRS = {"weight"}
+_SENTINEL_ATTRS = {"weight", "net_weight"}
 _SENTINEL_VALUES = {0.0}
 
 

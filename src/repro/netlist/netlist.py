@@ -44,6 +44,16 @@ class Netlist:
     # ------------------------------------------------------------------
     # construction
     # ------------------------------------------------------------------
+    def _drop_arena(self) -> None:
+        """Detach the flat-array mirror after a structural edit.
+
+        Netlists rebuilt from a shared-memory arena keep a reference to
+        it (``_arena``) so array builders can skip the object walk; any
+        mutation of cells, nets, or connectivity makes that mirror
+        stale, so every mutator calls this first.
+        """
+        self.__dict__.pop("_arena", None)
+
     def add_cell(self, name: str, cell_type: CellType | str, *,
                  x: float = 0.0, y: float = 0.0, fixed: bool = False,
                  **attributes: object) -> Cell:
@@ -56,6 +66,7 @@ class Netlist:
             ValueError: duplicate instance name, or name lookup without a
                 library.
         """
+        self._drop_arena()
         if name in self._cell_by_name:
             raise ValidationError(f"duplicate cell name {name!r}")
         if isinstance(cell_type, str):
@@ -77,6 +88,7 @@ class Netlist:
         Raises:
             ValueError: duplicate net name.
         """
+        self._drop_arena()
         if name in self._net_by_name:
             raise ValidationError(f"duplicate net name {name!r}")
         net = Net(name=name, weight=weight)
@@ -89,6 +101,7 @@ class Netlist:
     def connect(self, net: Net | str, cell: Cell | str,
                 pin: PinSpec | str) -> PinRef:
         """Connect ``cell.pin`` to ``net`` and index the incidence."""
+        self._drop_arena()
         if isinstance(net, str):
             net = self.net(net)
         if isinstance(cell, str):
@@ -246,6 +259,11 @@ class Netlist:
 
     def sizes(self) -> np.ndarray:
         """(N, 2) array of (width, height)."""
+        arena = getattr(self, "_arena", None)
+        if arena is not None:
+            # arena-rebuilt netlist: stack the flat mirror (mutators
+            # drop ``_arena``, so the mirror is always in sync here)
+            return np.stack([arena.cell_w, arena.cell_h], axis=1)
         out = np.empty((self.num_cells, 2), dtype=float)
         for i, c in enumerate(self._cells):
             out[i, 0] = c.width
@@ -254,6 +272,9 @@ class Netlist:
 
     def movable_mask(self) -> np.ndarray:
         """(N,) boolean array, True where the cell is movable."""
+        arena = getattr(self, "_arena", None)
+        if arena is not None:
+            return ~arena.cell_fixed.astype(bool)
         return np.array([c.movable for c in self._cells], dtype=bool)
 
     def total_movable_area(self) -> float:
@@ -273,6 +294,7 @@ class Netlist:
             ValueError: if merging would give the net two drivers, or if
                 both arguments are the same net.
         """
+        self._drop_arena()
         if isinstance(keep, str):
             keep = self.net(keep)
         if isinstance(absorb, str):
@@ -299,6 +321,7 @@ class Netlist:
         Only empty nets can be removed safely (no incidences to unhook).
         Returns the number of nets removed.
         """
+        self._drop_arena()
         keep = [net for net in self._nets if net.degree > 0]
         removed = len(self._nets) - len(keep)
         if removed:

@@ -13,10 +13,14 @@ the cell center.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 import numpy as np
 
 from ..netlist import Netlist
+
+if TYPE_CHECKING:
+    from ..netlist.arena import NetlistArena
 
 
 @dataclass
@@ -60,7 +64,18 @@ class PlacementArrays:
                 clock/reset — drown analytic models; None keeps all).
             skip_zero_weight: drop nets with weight == 0 (our clock
                 convention).
+
+        Netlists reconstructed from a shared-memory arena carry the
+        flat hypergraph already; those skip the Python object walk and
+        build from the arena arrays directly (elementwise-identical
+        result, same IEEE operations in the same order).
         """
+        arena = getattr(netlist, "_arena", None)
+        if arena is not None:
+            return cls.from_arena(netlist, arena,
+                                  min_degree=min_degree,
+                                  max_degree=max_degree,
+                                  skip_zero_weight=skip_zero_weight)
         pin_cell: list[int] = []
         pin_dx: list[float] = []
         pin_dy: list[float] = []
@@ -92,6 +107,43 @@ class PlacementArrays:
             movable=netlist.movable_mask(),
             width=sizes[:, 0].copy(),
             height=sizes[:, 1].copy(),
+        )
+
+    @classmethod
+    def from_arena(cls, netlist: Netlist, arena: "NetlistArena",
+                   min_degree: int = 2,
+                   max_degree: int | None = None,
+                   skip_zero_weight: bool = True) -> "PlacementArrays":
+        """Flatten from arena arrays without re-walking Python objects.
+
+        Produces the same arrays as the object walk in :meth:`build`:
+        net order is arena order (= netlist order), pin offsets use the
+        identical ``offset - size / 2`` float expression, and every
+        output array is a fresh writable copy (arena views are
+        read-only shared memory).
+        """
+        from ..kernels.arena import compact_csr
+
+        degrees = np.diff(arena.net_start)
+        keep = degrees >= min_degree
+        if max_degree is not None:
+            keep &= degrees <= max_degree
+        if skip_zero_weight:
+            keep &= arena.net_weight != 0.0
+        net_start, pin_keep = compact_csr(arena.net_start, keep)
+        pin_cell = arena.pin_cell[pin_keep]
+        return cls(
+            netlist=netlist,
+            pin_cell=pin_cell,
+            pin_dx=arena.pin_off_x[pin_keep]
+            - arena.cell_w[pin_cell] / 2.0,
+            pin_dy=arena.pin_off_y[pin_keep]
+            - arena.cell_h[pin_cell] / 2.0,
+            net_start=net_start,
+            net_weight=arena.net_weight[keep],
+            movable=~arena.cell_fixed.astype(bool),
+            width=arena.cell_w.copy(),
+            height=arena.cell_h.copy(),
         )
 
     # ------------------------------------------------------------------

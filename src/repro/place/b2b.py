@@ -320,9 +320,9 @@ class B2BBuilder:
         m = self.num_movable
         pin_pos = coords[arrays.pin_cell] + offsets
 
-        rows: list[np.ndarray] = []
-        cols: list[np.ndarray] = []
-        vals: list[np.ndarray] = []
+        rows: list[int] = []
+        cols: list[int] = []
+        vals: list[float] = []
         diag = np.zeros(m)
         b = np.zeros(m)
 
@@ -331,9 +331,12 @@ class B2BBuilder:
             if ri >= 0 and rj >= 0:
                 diag[ri] += w
                 diag[rj] += w
-                rows.append(np.array([ri, rj]))
-                cols.append(np.array([rj, ri]))
-                vals.append(np.array([-w, -w]))
+                # scalar appends; the COO triplets are assembled in one
+                # batch below (same element order, so the duplicate
+                # summation in tocsr() is unchanged)
+                rows.extend((ri, rj))
+                cols.extend((rj, ri))
+                vals.extend((-w, -w))
                 b[ri] -= w * const
                 b[rj] += w * const
             elif ri >= 0:
@@ -388,9 +391,9 @@ class B2BBuilder:
                 diag[ri] += w
                 b[ri] += w * anchors[ci]
 
-        rows_arr = np.concatenate(rows) if rows else np.empty(0, dtype=int)
-        cols_arr = np.concatenate(cols) if cols else np.empty(0, dtype=int)
-        vals_arr = np.concatenate(vals) if vals else np.empty(0)
+        rows_arr = np.asarray(rows, dtype=int)
+        cols_arr = np.asarray(cols, dtype=int)
+        vals_arr = np.asarray(vals, dtype=float)
         A = sp.coo_matrix((vals_arr, (rows_arr, cols_arr)),
                           shape=(m, m)).tocsr()
         A = A + sp.diags(diag + 1e-9)

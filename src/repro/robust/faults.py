@@ -25,6 +25,18 @@ Serve-level fault points (the chaos harness; see
   so the watchdog sees a healthy job as stuck (exercises the
   false-positive requeue path).
 
+Shared-memory arena fault points (:mod:`repro.runtime.shm`; the leak
+gate in the chaos soak drives these):
+
+- ``worker_kill`` — a pool worker process dies via ``os._exit(1)`` at
+  the top of its job, before any cleanup runs.  Occurrence windows are
+  *per process*, so retried jobs land on fresh workers and die again
+  until the retry budget reports a terminal ``crash`` — the harshest
+  test that no shared-memory segment is orphaned;
+- ``shm_unavailable`` — arena export pretends ``/dev/shm`` is broken
+  (as an ``OSError`` from segment creation would), forcing the pickled
+  fallback transport and its ``arena.fallback_pickle`` counter.
+
 Injection sites call :func:`fault_fires` with the fault name; the module
 keeps per-process occurrence counters so ``count``/``skip`` windows work
 deterministically.  With the variable unset every call is a cheap

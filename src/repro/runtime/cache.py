@@ -102,13 +102,19 @@ def _backend_fingerprint(options: PlacerOptions | None) -> dict:
     return {"name": name, "version": version}
 
 
-def job_key(netlist: Netlist, placer: str,
-            options: PlacerOptions | None, seed: int) -> str:
-    """Content-addressed key for one (design, placer, options, seed) run."""
+def job_key_from_digest(digest: str, placer: str,
+                        options: PlacerOptions | None, seed: int) -> str:
+    """Content-addressed key from a precomputed netlist fingerprint.
+
+    Identical by construction to :func:`job_key` on the netlist the
+    digest was taken from — arena consumers (which carry the digest and
+    never rebuild the Python netlist) and :func:`job_key` share this
+    one payload assembly.
+    """
     payload = {
         "schema": CACHE_SCHEMA,
         "code_version": _code_version(),
-        "netlist": netlist_fingerprint(netlist),
+        "netlist": digest,
         "placer": placer,
         "options": canonical_options(options or PlacerOptions()),
         "backend": _backend_fingerprint(options),
@@ -116,6 +122,13 @@ def job_key(netlist: Netlist, placer: str,
     }
     blob = json.dumps(payload, sort_keys=True).encode()
     return hashlib.sha256(blob).hexdigest()
+
+
+def job_key(netlist: Netlist, placer: str,
+            options: PlacerOptions | None, seed: int) -> str:
+    """Content-addressed key for one (design, placer, options, seed) run."""
+    return job_key_from_digest(
+        netlist_fingerprint(netlist), placer, options, seed)
 
 
 def snapshot_positions(netlist: Netlist) -> dict[str, list[float]]:

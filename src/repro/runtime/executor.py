@@ -22,30 +22,91 @@ taxonomy ``error_kind``, never swallowed and never allowed to sink the
 rest of the batch.  Timeouts become retryable when checkpoints are
 enabled (the retry makes forward progress from the snapshot); without
 checkpoints they stay terminal, as before.
+
+Parallel dispatch ships designs as shared-memory netlist arenas
+(:mod:`repro.runtime.shm`): each unique design is compiled and exported
+once per batch and jobs carry a ~200-byte :class:`ArenaRef`, so an
+N-job batch over one design transfers the netlist once instead of N
+times and warm cache hits skip the in-worker generator rebuild entirely
+(the arena digest keys the cache directly).  A per-batch
+:class:`CancelBoard` gives every job a cross-process cancel token:
+:meth:`BatchExecutor.cancel_all` / :meth:`BatchExecutor.cancel` flip
+shared bytes that workers poll at each checkpoint hook, converting the
+job into a graceful ``cancelled`` result (forced final checkpoint,
+taxonomy exit) instead of the :meth:`BatchExecutor.interrupt` SIGTERM
+backstop.
 """
 
 from __future__ import annotations
 
+import os
 from concurrent import futures as cf
 from concurrent.futures.process import BrokenProcessPool
+from typing import TYPE_CHECKING, Callable
 
 from ..core import BaselinePlacer, StructureAwarePlacer
-from ..errors import error_kind
+from ..errors import JobCancelledError, ReproError, error_kind
 from ..eval import evaluate_placement
 from ..gen import build_design
-from ..robust.checkpoint import CheckpointStore
+from ..robust.checkpoint import CheckpointHook, CheckpointStore
+from ..robust.faults import fault_fires
 from .cache import ArtifactCache, cache_from_spec, job_key, \
-    snapshot_positions
+    job_key_from_digest, snapshot_positions
 from .jobs import JobResult, PlacementJob
+from .shm import ArenaProvider, ArenaStore, CancelBoard, CancelBoardRef, \
+    Shipment, attach_shipment
 from .telemetry import Tracer
 
+if TYPE_CHECKING:
+    import numpy as np
+
+    from ..gen.composer import GeneratedDesign
+
 _PLACERS = {"baseline": BaselinePlacer, "structure": StructureAwarePlacer}
+
+
+class _CancelCheck:
+    """Checkpoint hook that polls a cancel token between iterations.
+
+    Wraps the (optional) periodic checkpoint recorder: the inner hook
+    runs first, then the token is polled; on cancellation a *final*
+    snapshot is forced (so a later resume continues where the cancel
+    landed) before :class:`~repro.errors.JobCancelledError` aborts the
+    placement.
+    """
+
+    def __init__(self, cancel: Callable[[], bool],
+                 inner: CheckpointHook | None,
+                 store: CheckpointStore | None, key: str) -> None:
+        self._cancel = cancel
+        self._inner = inner
+        self._store = store
+        self._key = key
+
+    def __call__(self, iteration: int, x: "np.ndarray", y: "np.ndarray",
+                 stage: str = "global_place") -> None:
+        if self._inner is not None:
+            self._inner(iteration, x, y, stage=stage)
+        if self._cancel():
+            if self._store is not None:
+                try:
+                    self._store.save(self._key, iteration, x, y,
+                                     stage=stage)
+                except OSError:
+                    pass  # full disk degrades to "no resume point"
+            raise JobCancelledError(
+                f"job cancelled at {stage} iteration {iteration}")
 
 
 def execute_job(job: PlacementJob, *, cache: ArtifactCache | None = None,
                 tracer: Tracer | None = None,
                 checkpoints: CheckpointStore | None = None,
-                fallback: bool = True) -> JobResult:
+                fallback: bool = True,
+                design: "GeneratedDesign | None" = None,
+                design_supplier:
+                "Callable[[], GeneratedDesign] | None" = None,
+                netlist_digest: str | None = None,
+                cancel: Callable[[], bool] | None = None) -> JobResult:
     """Run (or load from cache) one placement job.
 
     Args:
@@ -56,6 +117,19 @@ def execute_job(job: PlacementJob, *, cache: ArtifactCache | None = None,
             snapshots and resume-from-snapshot on retry.
         fallback: run the degradation ladder (True, default) or the bare
             requested placer.
+        design: pre-built design (e.g. reconstructed from a shipped
+            arena); skips the in-worker generator rebuild.
+        design_supplier: lazy alternative to ``design`` — only invoked
+            on a cache miss, so with ``netlist_digest`` also given a
+            warm hit materializes no design at all (arena workers pass
+            ``arena.to_design`` here).
+        netlist_digest: precomputed netlist fingerprint — with an arena
+            in hand the cache key needs no netlist walk at all, so a
+            warm hit costs neither a rebuild nor a fingerprint.
+        cancel: cross-process cancel poll; checked before start and at
+            every checkpoint hook, raising
+            :class:`~repro.errors.JobCancelledError` (after forcing a
+            final snapshot when a checkpoint store is present).
 
     Raises whatever the pipeline raises — retry/reporting policy belongs
     to :class:`BatchExecutor`, not here.  Degraded results are *not*
@@ -70,10 +144,22 @@ def execute_job(job: PlacementJob, *, cache: ArtifactCache | None = None,
     counters_before = dict(tracer.counters)
     with tracer.phase("job", design=job.design, placer=job.placer,
                       seed=job.seed):
-        with tracer.phase("build"):
-            design = build_design(job.design)
         options = job.resolved_options()
-        key = job_key(design.netlist, job.placer, options, job.seed)
+        if netlist_digest is not None:
+            # design construction is deferred: a warm cache hit below
+            # returns before any netlist is materialized
+            key = job_key_from_digest(netlist_digest, job.placer, options,
+                                      job.seed)
+        else:
+            if design is None:
+                with tracer.phase("build"):
+                    design = design_supplier() \
+                        if design_supplier is not None \
+                        else build_design(job.design)
+            key = job_key(design.netlist, job.placer, options, job.seed)
+        if cancel is not None and cancel():
+            raise JobCancelledError(
+                f"job {job.label} cancelled before start")
 
         artifact = cache.get(key, tracer=tracer) if cache is not None \
             else None
@@ -83,11 +169,18 @@ def execute_job(job: PlacementJob, *, cache: ArtifactCache | None = None,
         else:
             if cache is not None:
                 tracer.incr("cache.miss")
+            if design is None:
+                with tracer.phase("build"):
+                    design = design_supplier() \
+                        if design_supplier is not None \
+                        else build_design(job.design)
             tracer.incr("placer.invocations")
             resume = checkpoints.load(key) if checkpoints is not None \
                 else None
-            recorder = checkpoints.recorder(key) \
+            recorder: CheckpointHook | None = checkpoints.recorder(key) \
                 if checkpoints is not None else None
+            if cancel is not None:
+                recorder = _CancelCheck(cancel, recorder, checkpoints, key)
             if resume is not None:
                 tracer.incr("checkpoint.resumed")
                 tracer.event("checkpoint_resume", key=key,
@@ -156,23 +249,71 @@ def execute_job(job: PlacementJob, *, cache: ArtifactCache | None = None,
 def _worker_execute(job: PlacementJob, cache_spec: dict | None,
                     checkpoint_root: str | None = None,
                     fallback: bool = True,
-                    submitted_s: float | None = None) -> JobResult:
+                    submitted_s: float | None = None,
+                    shipment: Shipment | None = None,
+                    cancel_ref: CancelBoardRef | None = None,
+                    job_index: int = 0) -> JobResult:
     """Top-level pool target (must be picklable by name).
 
     ``submitted_s`` is the parent's tracer-clock stamp at submission;
     the delta to this worker's first clock reading is the job's queue
     wait (perf_counter is CLOCK_MONOTONIC on Linux, shared across
     processes — the only platform the pool runtime targets).
+
+    ``shipment`` is the parent's arena dispatch decision: attach (per-
+    process cached by digest) and reconstruct instead of rebuilding from
+    the generator.  Attach failures degrade to the rebuild path — a
+    vanished segment must cost one rebuild, not the job.  ``cancel_ref``
+    + ``job_index`` locate this job's byte on the batch cancel board.
     """
+    if fault_fires("worker_kill"):
+        # simulate a hard worker death (SIGKILL-like): no cleanup, no
+        # exception back to the parent — exercises the shared-memory
+        # leak gates and the BrokenProcessPool recovery path
+        os._exit(1)
     tracer = Tracer()
     queue_wait_s = max(tracer.clock() - submitted_s, 0.0) \
         if submitted_s is not None else 0.0
     cache = cache_from_spec(cache_spec)
     checkpoints = CheckpointStore(checkpoint_root) if checkpoint_root \
         else None
-    result = execute_job(job, cache=cache, tracer=tracer,
-                         checkpoints=checkpoints, fallback=fallback)
+    supplier: "Callable[[], GeneratedDesign] | None" = None
+    digest: str | None = None
+    transport = "rebuild"
+    bytes_shipped = 0
+    if shipment is not None:
+        try:
+            arena = attach_shipment(shipment)
+        except (OSError, ValueError, ReproError):
+            # segment vanished or blob failed to parse: fall back to
+            # the legacy rebuild; the job itself must still run
+            pass
+        else:
+            # reconstruction is handed over lazily: a warm cache hit
+            # never materializes the design at all
+            supplier = arena.to_design
+            digest = arena.digest
+            transport = shipment.transport
+            bytes_shipped = shipment.bytes_per_job
+    board: CancelBoard | None = None
+    cancel: Callable[[], bool] | None = None
+    if cancel_ref is not None:
+        try:
+            board = CancelBoard.attach(cancel_ref)
+            cancel = board.checker(job_index)
+        except OSError:
+            board = None  # board gone: job runs uncancellable, as before
+    try:
+        result = execute_job(job, cache=cache, tracer=tracer,
+                             checkpoints=checkpoints, fallback=fallback,
+                             design_supplier=supplier,
+                             netlist_digest=digest, cancel=cancel)
+    finally:
+        if board is not None:
+            board.close()
     result.queue_wait_s = queue_wait_s
+    result.transport = transport
+    result.bytes_shipped = bytes_shipped
     return result
 
 
@@ -191,21 +332,62 @@ class BatchExecutor:
         checkpoints: checkpoint store shared by all workers — enables
             crash/timeout resume.
         fallback: run jobs through the degradation ladder (default).
+        shm: ship designs to pool workers as shared-memory arenas
+            (default).  ``False`` restores the legacy rebuild-in-worker
+            dispatch (each job re-derives the design from its
+            generator).
+        arenas: externally owned arena provider (e.g. the serve
+            daemon's refcounted registry).  When ``None`` and ``shm``
+            is on, the executor owns a per-batch
+            :class:`~repro.runtime.shm.ArenaStore` and tears it down
+            after the batch.
     """
 
     def __init__(self, workers: int = 0, *,
                  cache: ArtifactCache | None = None,
                  timeout_s: float | None = None, retries: int = 1,
                  checkpoints: CheckpointStore | None = None,
-                 fallback: bool = True) -> None:
+                 fallback: bool = True, shm: bool = True,
+                 arenas: ArenaProvider | None = None) -> None:
         self.workers = workers
         self.cache = cache
         self.timeout_s = timeout_s
         self.retries = max(retries, 0)
         self.checkpoints = checkpoints
         self.fallback = fallback
+        self.shm = shm
+        self.arenas = arenas
         self._active_pool: cf.ProcessPoolExecutor | None = None
         self._interrupted = False
+        self._board: CancelBoard | None = None
+        self._cancel_requested = False
+
+    def cancel(self, idx: int) -> None:
+        """Gracefully cancel one in-flight job by batch index.
+
+        Flips the job's byte on the shared cancel board; its worker
+        observes the flag at the next checkpoint hook, forces a final
+        snapshot, and reports a terminal ``cancelled`` result.
+        """
+        board = self._board
+        if board is not None:
+            board.set(idx)
+
+    def cancel_all(self) -> None:
+        """Gracefully cancel every job in the running (or next) batch.
+
+        Sticky: calling before :meth:`run` cancels the batch at its
+        pre-start check, which makes cancellation deterministic for
+        callers that decide before dispatch.
+        """
+        self._cancel_requested = True
+        board = self._board
+        if board is not None:
+            board.set_all()
+
+    def _serial_cancelled(self) -> bool:
+        """Cancel poll for in-process execution (no board needed)."""
+        return self._cancel_requested
 
     def interrupt(self) -> None:
         """Kill the in-flight parallel execution from another thread.
@@ -215,8 +397,11 @@ class BatchExecutor:
         terminal ``interrupted`` result (no internal retry — requeue
         policy belongs to the supervisor, not this executor).  Serial
         runs are interrupted through the cancel-token path instead.
+        The cancel board is flipped first so any worker that is still
+        healthy exits gracefully before the SIGTERM lands.
         """
         self._interrupted = True
+        self.cancel_all()
         pool = self._active_pool
         if pool is None:
             return
@@ -245,6 +430,9 @@ class BatchExecutor:
             # surface it as a per-job telemetry row
             tracer.event("queue_wait", job=result.job.label,
                          wait_s=result.queue_wait_s)
+            if result.transport is not None:
+                tracer.incr(f"transport.{result.transport}")
+                tracer.incr("transport.bytes", result.bytes_shipped)
         return results
 
     # ------------------------------------------------------------------
@@ -260,7 +448,8 @@ class BatchExecutor:
                 try:
                     result = execute_job(job, cache=self.cache,
                                          checkpoints=self.checkpoints,
-                                         fallback=self.fallback)
+                                         fallback=self.fallback,
+                                         cancel=self._serial_cancelled)
                     result.attempts = attempts
                     break
                 # sanctioned fault boundary: failures become JobResult
@@ -287,10 +476,37 @@ class BatchExecutor:
         ckpt_root = str(self.checkpoints.root) if self.checkpoints \
             else None
 
-        def submit(pool: cf.ProcessPoolExecutor,
+        # one arena shipment per unique design: compiled/exported here,
+        # in the parent, exactly once; every job for that design then
+        # carries only the (tiny) shipment record across the pool
+        # boundary.  A None shipment (compile failed or shm disabled)
+        # falls back to the legacy rebuild-in-worker transport.
+        owned_store: ArenaStore | None = None
+        provider = self.arenas
+        if provider is None and self.shm:
+            owned_store = ArenaStore()
+            provider = owned_store
+        shipments: dict[str, Shipment | None] = {}
+        if provider is not None:
+            for job in jobs:
+                if job.design not in shipments:
+                    shipments[job.design] = provider.shipment(job.design)
+
+        board: CancelBoard | None = None
+        try:
+            board = CancelBoard(len(jobs))
+        except OSError:
+            board = None  # no /dev/shm: jobs run without cancel tokens
+        self._board = board
+        if self._cancel_requested and board is not None:
+            board.set_all()
+        board_ref = board.ref() if board is not None else None
+
+        def submit(pool: cf.ProcessPoolExecutor, idx: int,
                    job: PlacementJob) -> cf.Future:
             return pool.submit(_worker_execute, job, cache_spec,
-                               ckpt_root, self.fallback, tracer.clock())
+                               ckpt_root, self.fallback, tracer.clock(),
+                               shipments.get(job.design), board_ref, idx)
 
         def rebuild(pool: cf.ProcessPoolExecutor, after: int,
                     pending: dict[int, cf.Future]
@@ -300,7 +516,7 @@ class BatchExecutor:
             fresh = cf.ProcessPoolExecutor(max_workers=self.workers)
             for j, fut in list(pending.items()):
                 if j > after and not fut.done():
-                    pending[j] = submit(fresh, jobs[j])
+                    pending[j] = submit(fresh, j, jobs[j])
             return fresh
 
         pool = cf.ProcessPoolExecutor(max_workers=self.workers)
@@ -308,7 +524,7 @@ class BatchExecutor:
         self._interrupted = False
         results: list[JobResult | None] = [None] * len(jobs)
         try:
-            pending = {idx: submit(pool, job)
+            pending = {idx: submit(pool, idx, job)
                        for idx, job in enumerate(jobs)}
             for idx, job in enumerate(jobs):
                 attempts = 1
@@ -368,9 +584,19 @@ class BatchExecutor:
                         break
                     attempts += 1
                     tracer.incr("executor.retry")
-                    pending[idx] = submit(pool, job)
+                    pending[idx] = submit(pool, idx, job)
                 results[idx] = result
         finally:
             self._active_pool = None
             pool.shutdown(wait=False, cancel_futures=True)
+            # teardown order is safe even with stragglers: unlinking a
+            # POSIX segment removes its name, not live mappings, so a
+            # worker that is still attached keeps reading valid memory
+            self._board = None
+            if board is not None:
+                board.close(unlink=True)
+            if owned_store is not None:
+                for name, value in owned_store.counters.items():
+                    tracer.incr(name, value)
+                owned_store.close()
         return [r for r in results if r is not None]

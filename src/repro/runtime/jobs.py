@@ -68,7 +68,11 @@ class JobResult:
     placement resumed from a checkpoint instead of cold-starting.
     ``queue_wait_s`` is the submit→start latency the executor (or the
     serve daemon) measured for this job — execution time is in
-    ``runtime_s``, so total latency is their sum.
+    ``runtime_s``, so total latency is their sum.  ``transport`` records
+    how the design reached the worker (``"shm"`` — shared-memory arena
+    ref, ``"pickle"`` — pickled arena blob, ``"rebuild"`` — legacy
+    generator rebuild; ``None`` for serial in-process execution) and
+    ``bytes_shipped`` the per-job payload that transport carried.
     """
 
     job: PlacementJob
@@ -80,6 +84,8 @@ class JobResult:
     degradation: dict | None = None
     resumed_iteration: int = 0
     queue_wait_s: float = 0.0
+    transport: str | None = None
+    bytes_shipped: int = 0
     key: str | None = None
     placer_name: str = ""                   # display name, e.g. "baseline"
     hpwl_gp: float = 0.0
@@ -126,6 +132,10 @@ class JobResult:
         })
         if self.degradation and self.degradation.get("degraded"):
             row["rung"] = self.degradation.get("succeeded")
+        if self.transport is not None:
+            # parallel dispatch only: serial rows keep their old shape
+            row["transport"] = self.transport
+            row["bytes_shipped"] = self.bytes_shipped
         return row
 
     @property

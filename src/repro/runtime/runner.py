@@ -86,6 +86,7 @@ def run_suite(designs: Sequence[str] | None = None,
               retries: int = 1,
               checkpoint_dir: str | Path | None = None,
               fallback: bool = True,
+              shm: bool = True,
               tracer: Tracer | None = None) -> SuiteResult:
     """Place a batch of designs and return the deterministic result table.
 
@@ -103,6 +104,8 @@ def run_suite(designs: Sequence[str] | None = None,
         checkpoint_dir: enable global-place checkpoints at this directory
             — timed-out/crashed jobs resume from their last snapshot.
         fallback: run jobs through the degradation ladder (default).
+        shm: ship designs to pool workers as shared-memory arenas
+            (default); ``False`` restores per-job rebuild dispatch.
         tracer: collect telemetry into an existing tracer.
     """
     if designs is None:
@@ -114,7 +117,7 @@ def run_suite(designs: Sequence[str] | None = None,
     jobs = make_jobs(designs, placers, options=options, seed=seed)
     executor = BatchExecutor(workers, cache=cache, timeout_s=timeout_s,
                              retries=retries, checkpoints=checkpoints,
-                             fallback=fallback)
+                             fallback=fallback, shm=shm)
     with tracer.phase("suite", designs=list(designs),
                       placers=list(placers), workers=workers):
         results = executor.run(jobs, tracer=tracer)

@@ -1,0 +1,100 @@
+"""Refcounted arena registry for the placement daemon.
+
+The serve daemon runs indefinitely over an unbounded stream of designs,
+so unlike :class:`~repro.runtime.shm.ArenaStore` (whose lifetime is one
+batch) its arena exports need a lifecycle: each queued job holds one
+reference on its design's arena from admission until the job reaches a
+terminal state; when the last reference drops the segment is unlinked
+and the compile memo evicted.  A later submission for the same design
+re-exports from scratch — replay-safe, because references are
+re-acquired when the journal re-admits jobs on restart.
+
+The registry is an :class:`~repro.runtime.shm.ArenaProvider`, handed to
+every per-job :class:`~repro.runtime.executor.BatchExecutor` the
+:class:`~repro.serve.workers.WorkerBridge` creates, so pool workers
+attach the daemon-owned segments instead of each batch exporting its
+own copy.
+"""
+
+from __future__ import annotations
+
+import threading
+
+from ..errors import ReproError
+from ..runtime.shm import ArenaStore, Shipment
+
+__all__ = ["ArenaRegistry"]
+
+
+class ArenaRegistry:
+    """Per-design refcounts over a shared :class:`ArenaStore`.
+
+    Thread-safe: the asyncio event loop acquires/releases on admission
+    and terminal transitions while worker threads request shipments
+    concurrently.
+    """
+
+    def __init__(self) -> None:
+        self._store = ArenaStore()
+        self._refs: dict[str, int] = {}
+        self._lock = threading.Lock()
+
+    # ------------------------------------------------------------------
+    def acquire(self, design: str) -> bool:
+        """Take one reference on ``design``'s arena.
+
+        Compiles/exports lazily on the first reference.  Returns False
+        (holding no reference) when the design cannot be compiled —
+        the job still runs via the rebuild transport and reports its
+        error through the normal path.
+        """
+        with self._lock:
+            count = self._refs.get(design)
+            if count is not None:
+                self._refs[design] = count + 1
+                return True
+        try:
+            self._store.arena(design)
+        except ReproError:
+            return False
+        with self._lock:
+            self._refs[design] = self._refs.get(design, 0) + 1
+        return True
+
+    def release(self, design: str) -> None:
+        """Drop one reference; the last one tears the export down."""
+        drop = False
+        with self._lock:
+            count = self._refs.get(design)
+            if count is None:
+                return
+            if count <= 1:
+                del self._refs[design]
+                drop = True
+            else:
+                self._refs[design] = count - 1
+        if drop:
+            self._store.drop(design)
+
+    # ------------------------------------------------------------------
+    def digest(self, design: str) -> str:
+        """Netlist fingerprint for ``design`` (compiling if needed)."""
+        return self._store.digest(design)
+
+    def shipment(self, design: str) -> Shipment | None:
+        """ArenaProvider hook used by per-job executors."""
+        return self._store.shipment(design)
+
+    def close(self) -> None:
+        """Unlink every live segment (daemon shutdown)."""
+        with self._lock:
+            self._refs.clear()
+        self._store.close()
+
+    def stats(self) -> dict[str, int]:
+        """Store counters/gauges plus the live reference count."""
+        out = self._store.stats()
+        with self._lock:
+            out["arena.referenced_designs"] = len(self._refs)
+            out["arena.references"] = sum(self._refs.values())
+        return out

@@ -34,11 +34,13 @@ from pathlib import Path
 
 from ..errors import OptionsError, ReproError
 from ..runtime.cache import (ArtifactCache, ShardedArtifactCache,
-                             canonical_options, job_key)
+                             canonical_options, job_key,
+                             job_key_from_digest)
 from ..runtime.jobs import JobResult, PlacementJob
 from ..runtime.telemetry import Tracer
 from ..runtime.trace import JsonlTraceWriter
 from . import protocol
+from .arena import ArenaRegistry
 from .metrics import ServiceMetrics
 from .queue import JobJournal, JobQueue, QueuedJob
 from .supervise import ServiceShedError, Supervisor, SupervisorConfig
@@ -68,6 +70,9 @@ class ServeConfig:
         retries: executor retry budget per job.
         timeout_s: per-job wall-clock budget (pool mode).
         pool: run each placement in a single-worker process pool.
+        shm: in pool mode, ship designs to workers as shared-memory
+            arenas held by a refcounted registry (default); ``False``
+            restores per-job rebuild dispatch.
         fallback: run the degradation ladder (default).
         stall_timeout_s: a running job with no lease heartbeat for this
             long is declared stuck (watchdog interrupts + requeues it).
@@ -96,6 +101,7 @@ class ServeConfig:
     retries: int = 1
     timeout_s: float | None = None
     pool: bool = False
+    shm: bool = True
     fallback: bool = True
     stall_timeout_s: float = 30.0
     scan_interval_s: float = 1.0
@@ -152,8 +158,15 @@ class PlacementDaemon:
             journal = JobJournal(self._journal_path)
         self.journal = journal
 
+        #: refcounted arena exports shared by every pool worker; None
+        #: outside pool mode (threads place in-process, no shipping)
+        self.arenas: ArenaRegistry | None = None
+        if config.pool and config.shm:
+            self.arenas = ArenaRegistry()
+
         self.queue = JobQueue(max_pending=config.max_pending,
-                              clock=self._clock, journal=journal)
+                              clock=self._clock, journal=journal,
+                              on_terminal=self._on_terminal)
 
         self._writer: JsonlTraceWriter | None = None
         self._writer_lock = threading.Lock()
@@ -170,11 +183,13 @@ class PlacementDaemon:
             timeout_s=config.timeout_s, retries=config.retries,
             fallback=config.fallback, clock=self._clock,
             metrics=self.metrics, emit=self._emit,
-            supervisor=self.supervisor)
+            supervisor=self.supervisor, shm=config.shm,
+            arenas=self.arenas)
 
         #: set once the socket is bound (tests/waiters key off this)
         self.started = threading.Event()
         self._key_memo: dict[tuple, str] = {}
+        self._arena_lock = threading.Lock()
         self._dispatch_lock: asyncio.Lock | None = None
         self._shutdown_mode: str | None = None
         self._shutdown_event: asyncio.Event | None = None
@@ -190,6 +205,38 @@ class PlacementDaemon:
     def _trim_events(self) -> None:
         if len(self.tracer.events) > _EVENT_CAP:
             del self.tracer.events[:_EVENT_CAP // 2]
+
+    # -- arena lifecycle -----------------------------------------------
+    def _acquire_arena(self, record: QueuedJob) -> None:
+        """Pin the job's design arena until the job turns terminal.
+
+        Called off the event loop after admission (the first reference
+        compiles and exports the arena).  The lease-flag transition is
+        guarded so a job racing to a terminal state between admission
+        and this call cannot strand a reference.
+        """
+        if self.arenas is None:
+            return
+        if not self.arenas.acquire(record.job.design):
+            return  # uncompilable design: job runs via rebuild
+        release = False
+        with self._arena_lock:
+            if record.arena_lease or record.terminal:
+                release = True  # raced: the terminal hook already ran
+            else:
+                record.arena_lease = True
+        if release:
+            self.arenas.release(record.job.design)
+
+    def _on_terminal(self, record: QueuedJob) -> None:
+        """JobQueue terminal hook: drop the job's arena reference."""
+        if self.arenas is None:
+            return
+        with self._arena_lock:
+            if not record.arena_lease:
+                return
+            record.arena_lease = False
+        self.arenas.release(record.job.design)
 
     # -- lifecycle -----------------------------------------------------
     def run(self) -> None:
@@ -232,6 +279,10 @@ class PlacementDaemon:
         finally:
             self.supervisor.stop()
             self.bridge.stop()
+            if self.arenas is not None:
+                # unlink every live export; stragglers keep their
+                # mappings (POSIX), new attaches are impossible
+                self.arenas.close()
             if self.journal is not None:
                 self.journal.close()
             if self._writer is not None:
@@ -284,9 +335,11 @@ class PlacementDaemon:
                                "attempt(s) across daemon restarts"))
                     self.tracer.incr("serve.replay_quarantined")
                 else:
-                    self.queue.submit(job, priority=priority,
-                                      job_id=entry.get("job_id"),
-                                      attempts=attempts)
+                    record = self.queue.submit(
+                        job, priority=priority,
+                        job_id=entry.get("job_id"),
+                        attempts=attempts)
+                    self._acquire_arena(record)
                     self.tracer.incr("serve.replayed")
                 self.metrics.record_submitted()
             except ReproError as exc:
@@ -410,6 +463,8 @@ class PlacementDaemon:
                         raise
                     record.spans["cache_probe"] = probe_s
                     self.metrics.record_submitted()
+                    await asyncio.to_thread(self._acquire_arena,
+                                            record)
             except ReproError:
                 self.metrics.record_rejected()
                 raise
@@ -436,8 +491,16 @@ class PlacementDaemon:
         artifact = self.cache.get(key, tracer=self.tracer)
         return key, artifact, ph.split() - probe_start
 
-    @staticmethod
-    def _compute_key(job: PlacementJob) -> str:
+    def _compute_key(self, job: PlacementJob) -> str:
+        if self.arenas is not None:
+            try:
+                digest = self.arenas.digest(job.design)
+            except ReproError:
+                pass  # fall through: the legacy path reports the error
+            else:
+                return job_key_from_digest(
+                    digest, job.placer, job.resolved_options(),
+                    job.seed)
         from ..gen import build_design
         design = build_design(job.design)
         return job_key(design.netlist, job.placer,
@@ -478,6 +541,9 @@ class PlacementDaemon:
     async def _handle_requeue(self, message: dict) -> dict:
         with self.tracer.phase("serve.requeue"):
             record = self.queue.revive(message["job_id"])
+            # revival leaves a terminal state, whose hook released the
+            # arena reference — take a fresh one for the new attempt
+            await asyncio.to_thread(self._acquire_arena, record)
             self.tracer.incr("serve.requeued")
             return protocol.ok_response(**record.describe())
 
@@ -490,6 +556,8 @@ class PlacementDaemon:
             stats["supervision"] = self.supervisor.snapshot()
             if self.cache is not None:
                 stats["artifact_cache"] = self.cache.stats()
+            if self.arenas is not None:
+                stats["arena"] = self.arenas.stats()
             return protocol.ok_response(
                 stats=stats, version=protocol.PROTOCOL_VERSION)
 

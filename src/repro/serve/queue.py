@@ -83,7 +83,7 @@ class QueuedJob:
     __slots__ = ("job_id", "job", "priority", "state", "cached",
                  "submitted_s", "started_s", "finished_s", "result",
                  "error", "error_kind", "cancel", "done", "spans",
-                 "attempts", "epoch", "not_before_s")
+                 "attempts", "epoch", "not_before_s", "arena_lease")
 
     def __init__(self, job_id: str, job: PlacementJob, *,
                  priority: int = 0, submitted_s: float = 0.0,
@@ -105,6 +105,9 @@ class QueuedJob:
         self.attempts = attempts
         self.epoch = 0
         self.not_before_s = 0.0
+        # True while this job holds a reference on its design's shared-
+        # memory arena (released by the daemon's on_terminal hook)
+        self.arena_lease = False
 
     @property
     def terminal(self) -> bool:
@@ -269,11 +272,17 @@ class JobQueue:
         clock: monotonic time source (the daemon tracer's clock, so
             every span in the system shares one clock).
         journal: persistence sink; None disables durability.
+        on_terminal: invoked (outside the queue lock) each time a job
+            reaches a terminal state, exactly once per terminal
+            transition — the daemon uses it to release the job's arena
+            reference.
     """
 
     def __init__(self, *, max_pending: int = 2048,
                  clock: Callable[[], float],
-                 journal: JobJournal | None = None) -> None:
+                 journal: JobJournal | None = None,
+                 on_terminal: Callable[[QueuedJob], None] | None = None
+                 ) -> None:
         if max_pending < 1:
             raise OptionsError(
                 f"max_pending must be >= 1, got {max_pending}",
@@ -281,6 +290,7 @@ class JobQueue:
         self.max_pending = max_pending
         self.clock = clock
         self.journal = journal
+        self.on_terminal = on_terminal
         self._cond = threading.Condition()
         self._heap: list[tuple[int, int, str]] = []
         self._delayed: list[str] = []
@@ -463,6 +473,8 @@ class JobQueue:
             self._cond.notify_all()
         if journal and self.journal is not None:
             self.journal.finish(record)
+        if self.on_terminal is not None:
+            self.on_terminal(record)
         return True
 
     # -- supervision ---------------------------------------------------
@@ -509,6 +521,8 @@ class JobQueue:
             self._cond.notify_all()
         if self.journal is not None:
             self.journal.finish(record)
+        if self.on_terminal is not None:
+            self.on_terminal(record)
         return True
 
     def revive(self, job_id: str) -> QueuedJob:
@@ -578,8 +592,11 @@ class JobQueue:
                 record.cancel.set()
             else:
                 return state, record
-        if state == protocol.QUEUED and self.journal is not None:
-            self.journal.finish(record)
+        if state == protocol.QUEUED:
+            if self.journal is not None:
+                self.journal.finish(record)
+            if self.on_terminal is not None:
+                self.on_terminal(record)
         return state, record
 
     def stop_admission(self) -> None:
@@ -599,6 +616,9 @@ class JobQueue:
                     record.done.set()
                     cancelled.append(record)
             self._cond.notify_all()
+        if self.on_terminal is not None:
+            for record in cancelled:
+                self.on_terminal(record)
         return cancelled
 
     def running(self) -> list[QueuedJob]:

@@ -18,6 +18,11 @@ forces a final snapshot to disk and raises
 global-placement loop checkpoints.  The executor reports the
 cancellation terminally (never retried, never degraded past), and the
 snapshot survives — a resubmitted job resumes instead of cold-starting.
+In pool mode the token cannot reach the worker process directly; a
+per-job watcher thread mirrors it onto the executor's shared-memory
+cancel board (:meth:`~repro.runtime.executor.BatchExecutor.cancel_all`),
+which the in-worker checkpoint hook polls — same graceful semantics
+across the process boundary.
 
 Supervision (:mod:`repro.serve.supervise`) rides the same hook: every
 recorder call renews the job's lease heartbeat, so a healthy placement
@@ -52,6 +57,7 @@ from .metrics import ServiceMetrics
 from .queue import JobQueue, QueuedJob
 
 if TYPE_CHECKING:  # import cycle guard: supervise imports this module
+    from ..runtime.shm import ArenaProvider
     from .supervise import Supervisor
 
 #: failure kinds the supervisor may retry (infrastructure casualties, as
@@ -144,6 +150,10 @@ class WorkerBridge:
         timeout_s: per-job wall-clock budget (pool mode only).
         retries: executor retry budget for crashing jobs.
         fallback: run the degradation ladder (default).
+        shm: ship designs into pool workers as shared-memory arenas
+            (default); off, each pool job rebuilds its design.
+        arenas: daemon-owned refcounted arena provider shared by every
+            per-job executor (None: each executor exports its own).
         clock: shared tracer clock.
         metrics: live stats aggregation.
         emit: callback receiving JSON-ready telemetry rows (the daemon
@@ -158,6 +168,8 @@ class WorkerBridge:
                  checkpoint_root: str | None = None,
                  pool: bool = False, timeout_s: float | None = None,
                  retries: int = 1, fallback: bool = True,
+                 shm: bool = True,
+                 arenas: "ArenaProvider | None" = None,
                  clock: Callable[[], float],
                  metrics: ServiceMetrics,
                  emit: Callable[[dict], None] | None = None,
@@ -170,6 +182,8 @@ class WorkerBridge:
         self.timeout_s = timeout_s
         self.retries = retries
         self.fallback = fallback
+        self.shm = shm
+        self.arenas = arenas
         self.clock = clock
         self.metrics = metrics
         self.emit = emit
@@ -272,7 +286,8 @@ class WorkerBridge:
         executor = BatchExecutor(
             workers=1 if self.pool else 0, cache=self.cache,
             timeout_s=self.timeout_s, retries=self.retries,
-            checkpoints=checkpoints, fallback=self.fallback)
+            checkpoints=checkpoints, fallback=self.fallback,
+            shm=self.shm, arenas=self.arenas)
 
         if supervisor is not None:
 
@@ -302,8 +317,37 @@ class WorkerBridge:
                                error="injected fault: worker_crash",
                                error_kind="crash")
         else:
-            results = executor.run([record.job], tracer=tracer)
-            result = results[0]
+            # pool mode: the thread-local cancel token cannot reach the
+            # worker process, but the executor's shared-memory cancel
+            # board can — a watcher thread bridges the two, so a user
+            # cancel (or watchdog trip) lands gracefully in-process
+            # (forced final checkpoint, taxonomy "cancelled") instead
+            # of waiting for the SIGTERM backstop
+            watcher: threading.Thread | None = None
+            stop_watch: threading.Event | None = None
+            if self.pool:
+                stop_watch = threading.Event()
+
+                def _watch(token: threading.Event = token,
+                           executor: BatchExecutor = executor,
+                           stop: threading.Event = stop_watch) -> None:
+                    while not stop.is_set():
+                        if token.wait(0.05):
+                            executor.cancel_all()
+                            return
+
+                watcher = threading.Thread(
+                    target=_watch, daemon=True,
+                    name=f"{worker}-cancel-watch")
+                watcher.start()
+            try:
+                results = executor.run([record.job], tracer=tracer)
+                result = results[0]
+            finally:
+                if stop_watch is not None:
+                    stop_watch.set()
+                if watcher is not None:
+                    watcher.join(timeout=1.0)
         record.spans["execute"] = self.clock() - start_s
         # the service-level wait (accept -> pop) supersedes the
         # executor's intra-batch measurement, which is ~0 here
