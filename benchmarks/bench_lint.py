@@ -1,0 +1,138 @@
+"""Cold-vs-warm lint timing, with hard gates.
+
+The incremental digest cache (``repro.lint.runner.LintCache``) exists
+so pre-commit and CI pay full analysis cost only for files that
+changed.  This bench measures a cold run (no cache) against a warm run
+(everything cached) over ``src/repro`` and gates CI on the contract:
+
+- **Speed**: the warm run completes at least ``SPEEDUP_MIN`` (3x)
+  faster than the cold run — the cache must actually short-circuit
+  parsing and rule execution, not just the final render.
+- **Identity**: cold and warm runs produce byte-identical findings
+  (the JSON ``findings``/``counts``/``errors`` payload) — replaying
+  from the cache may never change what the gate sees.
+- **Incrementality**: touching one file re-analyses only that file
+  (``cache.misses == 1``) and still returns identical findings.
+
+Timing lives here rather than in the runner because ``src/repro`` bans
+ad-hoc clocks outside the telemetry module (DET03) — and the lint
+package lints itself.
+
+Results merge into ``BENCH_PERF.json`` (existing sections preserved)
+under a ``"lint"`` key.  Exit status 1 on any gate failure.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_lint.py [--quick]
+        [--out BENCH_PERF.json]
+
+``--quick`` is accepted for CI symmetry; the fileset is already small
+enough that there is nothing to shrink.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import shutil
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+from repro.lint.runner import lint_paths
+
+SPEEDUP_MIN = 3.0   # warm (all-cached) vs cold (no cache) wall time
+
+SRC = Path(__file__).resolve().parent.parent / "src" / "repro"
+
+
+def _payload(result) -> str:
+    """The gate-relevant slice of a result, canonically serialized."""
+    doc = result.to_dict()
+    return json.dumps(
+        {k: doc[k] for k in ("findings", "counts", "errors", "ok")},
+        sort_keys=True)
+
+
+def run_gates(failures: list[str]) -> dict:
+    workdir = Path(tempfile.mkdtemp(prefix="bench-lint-"))
+    tree = workdir / "repro"
+    shutil.copytree(SRC, tree)
+    cache = workdir / "lint-cache.json"
+
+    t0 = time.perf_counter()
+    cold = lint_paths([tree], cache_path=cache)
+    cold_s = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    warm = lint_paths([tree], cache_path=cache)
+    warm_s = time.perf_counter() - t0
+
+    if warm.cache_hits != cold.files:
+        failures.append(
+            f"warm run replayed {warm.cache_hits}/{cold.files} files "
+            "from cache; expected all of them")
+    if _payload(cold) != _payload(warm):
+        failures.append("cold and warm findings differ — the cache "
+                        "changed what the gate sees")
+    speedup = cold_s / warm_s if warm_s > 0 else float("inf")
+    if speedup < SPEEDUP_MIN:
+        failures.append(
+            f"warm lint only {speedup:.1f}x faster than cold "
+            f"({warm_s:.3f}s vs {cold_s:.3f}s); gate is "
+            f"{SPEEDUP_MIN:.1f}x")
+
+    # incrementality: touch one file, expect exactly one re-analysis
+    victim = tree / "errors.py"
+    victim.write_text(victim.read_text() + "\n# touched by bench\n")
+    touched = lint_paths([tree], cache_path=cache)
+    if touched.cache_misses != 1:
+        failures.append(
+            f"touching one file re-analysed {touched.cache_misses} "
+            "files; expected exactly 1")
+    if _payload(touched) != _payload(cold):
+        failures.append("findings changed after a comment-only touch")
+
+    shutil.rmtree(workdir, ignore_errors=True)
+    return {
+        "files": cold.files,
+        "cold_s": round(cold_s, 4),
+        "warm_s": round(warm_s, 4),
+        "speedup": round(speedup, 2),
+        "speedup_min": SPEEDUP_MIN,
+        "warm_cache_hits": warm.cache_hits,
+        "touched_misses": touched.cache_misses,
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true",
+                        help="accepted for CI symmetry (no-op)")
+    parser.add_argument("--out", default="BENCH_PERF.json",
+                        help="merge results into this JSON file")
+    args = parser.parse_args(argv)
+
+    failures: list[str] = []
+    section = run_gates(failures)
+    section["gates_passed"] = not failures
+
+    out = Path(args.out)
+    merged: dict = {}
+    if out.is_file():
+        try:
+            merged = json.loads(out.read_text())
+        except ValueError:
+            merged = {}
+    merged["lint"] = section
+    out.write_text(json.dumps(merged, indent=2, sort_keys=True) + "\n")
+
+    print(json.dumps(section, indent=2, sort_keys=True))
+    for failure in failures:
+        print(f"GATE FAILED: {failure}", file=sys.stderr)
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,402 @@
+"""Per-function control-flow graphs for flow-aware lint rules.
+
+:func:`build_cfg` lowers one ``ast.FunctionDef`` /
+``ast.AsyncFunctionDef`` body into a statement-level CFG: every simple
+statement, compound-statement header (an ``if`` test, a loop iterable,
+a ``with`` enter), and ``with``-exit point becomes one node, and edges
+follow both normal control flow and exception flow.  Three synthetic
+nodes anchor the graph: ``entry``, ``exit`` (normal returns and
+fall-through), and ``raise_exit`` (exceptions that escape the
+function).  Dataflow clients (:mod:`repro.lint.dataflow`) propagate
+states along both edge kinds, which is what lets the LIF/CON rules
+reason about *exception paths* — the place hand-written resource and
+lock handling actually goes wrong.
+
+Exception edges are drawn from every node whose governing expression
+can plausibly raise (it contains a call, attribute or subscript access,
+arithmetic, ``await``, ``raise`` or ``assert``) to the innermost active
+handler target: the enclosing ``except`` dispatch, the enclosing
+``with`` exit (context managers see exceptions before they propagate),
+the enclosing ``finally`` body, or ``raise_exit``.  ``finally`` blocks
+are modelled once (not duplicated per path kind); their exits fan out
+to every continuation the protected body actually used (normal flow,
+re-raise, and ``return``/``break``/``continue`` forwarding), a sound
+over-approximation that keeps the graph linear in the source size.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field, replace
+from typing import Callable, Iterator
+
+__all__ = ["CFG", "CFGNode", "build_cfg", "can_raise"]
+
+#: node labels with special dataflow meaning (see module docstring).
+ENTRY, EXIT, RAISE = "entry", "exit", "raise"
+
+
+@dataclass
+class CFGNode:
+    """One program point.
+
+    Attributes:
+        idx: index into :attr:`CFG.nodes`.
+        stmt: governing AST node (``None`` for the synthetic nodes).
+            For compound statements the same AST node can govern
+            several CFG nodes distinguished by ``label`` (a ``with``
+            has an enter and an exit node).
+        label: ``"stmt"`` for plain statements, ``"entry"``/``"exit"``/
+            ``"raise"`` for the synthetic nodes, or a structural tag
+            (``"if"``, ``"loop"``, ``"with"``, ``"with-exit"``,
+            ``"dispatch"``, ``"finally"``, ``"match"``).
+        succs: normal-flow successor indices.
+        excs: exception-flow successor indices.
+    """
+
+    idx: int
+    stmt: ast.AST | None
+    label: str
+    succs: set[int] = field(default_factory=set)
+    excs: set[int] = field(default_factory=set)
+
+
+class CFG:
+    """Control-flow graph of one function body."""
+
+    def __init__(self, func: ast.AST | None = None) -> None:
+        self.func = func
+        self.nodes: list[CFGNode] = []
+        self.entry = self._new(None, ENTRY)
+        self.exit = self._new(None, EXIT)
+        self.raise_exit = self._new(None, RAISE)
+
+    def _new(self, stmt: ast.AST | None, label: str) -> int:
+        node = CFGNode(idx=len(self.nodes), stmt=stmt, label=label)
+        self.nodes.append(node)
+        return node.idx
+
+    def successors(self, idx: int, *,
+                   exceptions: bool = True) -> Iterator[int]:
+        node = self.nodes[idx]
+        yield from sorted(node.succs)
+        if exceptions:
+            yield from sorted(node.excs)
+
+    def statement_nodes(self) -> Iterator[CFGNode]:
+        """Nodes carrying an AST statement, in index order."""
+        for node in self.nodes:
+            if node.stmt is not None:
+                yield node
+
+
+def can_raise(node: ast.AST) -> bool:
+    """Heuristic: can evaluating ``node`` plausibly raise?
+
+    True when the expression/statement contains a call, attribute or
+    subscript access, arithmetic, comparison, ``await``/``yield``,
+    ``raise`` or ``assert`` — excluding anything inside a nested
+    function/class body (not evaluated here).  Pure name/constant
+    moves cannot raise, which keeps e.g. ``x = None`` from spawning
+    spurious exception paths.
+    """
+    for sub in _walk_scope(node):
+        if isinstance(sub, (ast.Call, ast.Attribute, ast.Subscript,
+                            ast.BinOp, ast.UnaryOp, ast.Compare,
+                            ast.Await, ast.Yield, ast.YieldFrom,
+                            ast.Raise, ast.Assert, ast.Starred)):
+            return True
+    return False
+
+
+def _walk_scope(node: ast.AST) -> Iterator[ast.AST]:
+    """``ast.walk`` that does not descend into nested scopes."""
+    stack = [node]
+    while stack:
+        current = stack.pop()
+        yield current
+        for child in ast.iter_child_nodes(current):
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef,
+                                  ast.Lambda, ast.ClassDef)):
+                continue
+            stack.append(child)
+
+
+def _catch_all(handler: ast.ExceptHandler) -> bool:
+    """Does this handler catch every exception that reaches it?
+
+    ``except:``, ``except BaseException:`` and ``except Exception:``
+    all count — the ``KeyboardInterrupt`` gap of the last one is not a
+    path lint rules should reason about.
+    """
+    if handler.type is None:
+        return True
+    name = handler.type.attr if isinstance(handler.type, ast.Attribute) \
+        else getattr(handler.type, "id", None)
+    return name in ("BaseException", "Exception")
+
+
+@dataclass(frozen=True)
+class _Ctx:
+    """Where abnormal control transfers go from the current region."""
+
+    exc: int
+    ret: int
+    brk: int | None = None
+    cont: int | None = None
+    #: usage callbacks: a finally region registers these so it learns
+    #: which outward continuations its exit must fan out to.
+    on_ret: Callable[[], None] | None = None
+    on_brk: Callable[[], None] | None = None
+    on_cont: Callable[[], None] | None = None
+
+
+class _Builder:
+    def __init__(self, func: ast.FunctionDef | ast.AsyncFunctionDef) -> None:
+        self.cfg = CFG(func)
+        #: targets that actually received an exception edge; lets a
+        #: finally/with-exit decide whether a re-raise path exists.
+        self._exc_seen: set[int] = set()
+
+    # -- edge helpers --------------------------------------------------
+    def _edge(self, src: int, dst: int) -> None:
+        self.cfg.nodes[src].succs.add(dst)
+
+    def _exc_edge(self, src: int, dst: int) -> None:
+        self.cfg.nodes[src].excs.add(dst)
+        self._exc_seen.add(dst)
+
+    def _connect(self, frontier: set[int], dst: int) -> None:
+        for src in frontier:
+            self._edge(src, dst)
+
+    # -- statement lowering --------------------------------------------
+    def build(self) -> CFG:
+        ctx = _Ctx(exc=self.cfg.raise_exit, ret=self.cfg.exit)
+        frontier = self._stmts(self.cfg.func.body,  # type: ignore[union-attr]
+                               {self.cfg.entry}, ctx)
+        self._connect(frontier, self.cfg.exit)
+        return self.cfg
+
+    def _stmts(self, body: list[ast.stmt], frontier: set[int],
+               ctx: _Ctx) -> set[int]:
+        for stmt in body:
+            if not frontier:
+                break  # unreachable code after return/raise/break
+            frontier = self._stmt(stmt, frontier, ctx)
+        return frontier
+
+    def _stmt(self, stmt: ast.stmt, frontier: set[int],
+              ctx: _Ctx) -> set[int]:
+        if isinstance(stmt, ast.If):
+            return self._if(stmt, frontier, ctx)
+        if isinstance(stmt, (ast.While,)):
+            return self._while(stmt, frontier, ctx)
+        if isinstance(stmt, (ast.For, ast.AsyncFor)):
+            return self._for(stmt, frontier, ctx)
+        if isinstance(stmt, (ast.With, ast.AsyncWith)):
+            return self._with(stmt, frontier, ctx)
+        if isinstance(stmt, ast.Try) or stmt.__class__.__name__ == "TryStar":
+            return self._try(stmt, frontier, ctx)  # type: ignore[arg-type]
+        if isinstance(stmt, ast.Match):
+            return self._match(stmt, frontier, ctx)
+        if isinstance(stmt, ast.Return):
+            node = self._plain(stmt, frontier, ctx)
+            self._edge(node, ctx.ret)
+            if ctx.on_ret is not None:
+                ctx.on_ret()
+            return set()
+        if isinstance(stmt, ast.Raise):
+            node = self.cfg._new(stmt, "stmt")
+            self._connect(frontier, node)
+            self._exc_edge(node, ctx.exc)
+            return set()
+        if isinstance(stmt, ast.Break):
+            node = self.cfg._new(stmt, "stmt")
+            self._connect(frontier, node)
+            if ctx.brk is not None:
+                self._edge(node, ctx.brk)
+                if ctx.on_brk is not None:
+                    ctx.on_brk()
+            return set()
+        if isinstance(stmt, ast.Continue):
+            node = self.cfg._new(stmt, "stmt")
+            self._connect(frontier, node)
+            if ctx.cont is not None:
+                self._edge(node, ctx.cont)
+                if ctx.on_cont is not None:
+                    ctx.on_cont()
+            return set()
+        # simple statement (incl. nested def/class, which are opaque)
+        return {self._plain(stmt, frontier, ctx)}
+
+    def _plain(self, stmt: ast.stmt, frontier: set[int],
+               ctx: _Ctx) -> int:
+        node = self.cfg._new(stmt, "stmt")
+        self._connect(frontier, node)
+        if can_raise(stmt):
+            self._exc_edge(node, ctx.exc)
+        return node
+
+    def _header(self, stmt: ast.AST, expr: ast.AST | None, label: str,
+                frontier: set[int], ctx: _Ctx) -> int:
+        node = self.cfg._new(stmt, label)
+        self._connect(frontier, node)
+        if expr is not None and can_raise(expr):
+            self._exc_edge(node, ctx.exc)
+        return node
+
+    def _if(self, stmt: ast.If, frontier: set[int],
+            ctx: _Ctx) -> set[int]:
+        test = self._header(stmt, stmt.test, "if", frontier, ctx)
+        out = self._stmts(stmt.body, {test}, ctx)
+        if stmt.orelse:
+            out |= self._stmts(stmt.orelse, {test}, ctx)
+        else:
+            out |= {test}
+        return out
+
+    def _while(self, stmt: ast.While, frontier: set[int],
+               ctx: _Ctx) -> set[int]:
+        test = self._header(stmt, stmt.test, "loop", frontier, ctx)
+        after = self.cfg._new(stmt, "loop-exit")
+        body_ctx = replace(ctx, brk=after, cont=test,
+                           on_brk=None, on_cont=None)
+        body_out = self._stmts(stmt.body, {test}, body_ctx)
+        self._connect(body_out, test)  # back edge
+        if stmt.orelse:
+            self._connect(self._stmts(stmt.orelse, {test}, ctx), after)
+        else:
+            self._edge(test, after)
+        return {after}
+
+    def _for(self, stmt: ast.For | ast.AsyncFor, frontier: set[int],
+             ctx: _Ctx) -> set[int]:
+        head = self._header(stmt, stmt.iter, "loop", frontier, ctx)
+        after = self.cfg._new(stmt, "loop-exit")
+        body_ctx = replace(ctx, brk=after, cont=head,
+                           on_brk=None, on_cont=None)
+        body_out = self._stmts(stmt.body, {head}, body_ctx)
+        self._connect(body_out, head)
+        if stmt.orelse:
+            self._connect(self._stmts(stmt.orelse, {head}, ctx), after)
+        else:
+            self._edge(head, after)
+        return {after}
+
+    def _with(self, stmt: ast.With | ast.AsyncWith, frontier: set[int],
+              ctx: _Ctx) -> set[int]:
+        enter = self._header(stmt, None, "with", frontier, ctx)
+        for item in stmt.items:
+            if can_raise(item.context_expr):
+                self._exc_edge(enter, ctx.exc)
+                break
+        wexit = self.cfg._new(stmt, "with-exit")
+        # every way out of the body — normal fall-through, exception,
+        # return/break/continue — reaches the context manager's
+        # __exit__ first: route all of them through the exit node
+        used = {"ret": False, "brk": False, "cont": False}
+        body_ctx = replace(
+            ctx, exc=wexit, ret=wexit,
+            brk=wexit if ctx.brk is not None else None,
+            cont=wexit if ctx.cont is not None else None,
+            on_ret=lambda: used.__setitem__("ret", True),
+            on_brk=lambda: used.__setitem__("brk", True),
+            on_cont=lambda: used.__setitem__("cont", True))
+        body_out = self._stmts(stmt.body, {enter}, body_ctx)
+        self._connect(body_out, wexit)
+        if wexit in self._exc_seen:
+            # a body statement can raise: the exit re-raises outward
+            self._edge(wexit, ctx.exc)
+            self._exc_seen.add(ctx.exc)
+        if used["ret"]:
+            self._edge(wexit, ctx.ret)
+            if ctx.on_ret is not None:
+                ctx.on_ret()
+        if used["brk"] and ctx.brk is not None:
+            self._edge(wexit, ctx.brk)
+            if ctx.on_brk is not None:
+                ctx.on_brk()
+        if used["cont"] and ctx.cont is not None:
+            self._edge(wexit, ctx.cont)
+            if ctx.on_cont is not None:
+                ctx.on_cont()
+        return {wexit}
+
+    def _match(self, stmt: ast.Match, frontier: set[int],
+               ctx: _Ctx) -> set[int]:
+        subject = self._header(stmt, stmt.subject, "match", frontier, ctx)
+        out: set[int] = {subject}  # no case may match
+        for case in stmt.cases:
+            out |= self._stmts(case.body, {subject}, ctx)
+        return out
+
+    def _try(self, stmt: ast.Try, frontier: set[int],
+             ctx: _Ctx) -> set[int]:
+        fin_entry: int | None = None
+        fin_out: set[int] = set()
+        used = {"ret": False, "brk": False, "cont": False}
+        if stmt.finalbody:
+            fin_entry = self.cfg._new(stmt, "finally")
+            fin_out = self._stmts(stmt.finalbody, {fin_entry}, ctx)
+
+        outer_exc = fin_entry if fin_entry is not None else ctx.exc
+        body_ctx = ctx
+        if fin_entry is not None:
+            body_ctx = replace(
+                ctx,
+                ret=fin_entry,
+                brk=fin_entry if ctx.brk is not None else None,
+                cont=fin_entry if ctx.cont is not None else None,
+                on_ret=lambda: used.__setitem__("ret", True),
+                on_brk=lambda: used.__setitem__("brk", True),
+                on_cont=lambda: used.__setitem__("cont", True))
+
+        after: set[int] = set()
+        if stmt.handlers:
+            dispatch = self.cfg._new(stmt, "dispatch")
+            body_out = self._stmts(stmt.body, frontier,
+                                   replace(body_ctx, exc=dispatch))
+            if not any(_catch_all(h) for h in stmt.handlers):
+                # an unmatched exception keeps propagating
+                self._edge(dispatch, outer_exc)
+                self._exc_seen.add(outer_exc)
+            for handler in stmt.handlers:
+                head = self.cfg._new(handler, "handler")
+                self._edge(dispatch, head)
+                after |= self._stmts(handler.body, {head}, body_ctx)
+        else:
+            body_out = self._stmts(stmt.body, frontier,
+                                   replace(body_ctx, exc=outer_exc))
+        if stmt.orelse:
+            body_out = self._stmts(stmt.orelse, body_out, body_ctx)
+        after |= body_out
+
+        if fin_entry is None:
+            return after
+
+        # normal completion funnels through the finally block
+        self._connect(after, fin_entry)
+        out: set[int] = set(fin_out) if after else set()
+        for src in fin_out:
+            if fin_entry in self._exc_seen:
+                self._edge(src, ctx.exc)
+                self._exc_seen.add(ctx.exc)
+            if used["ret"]:
+                self._edge(src, ctx.ret)
+                if ctx.on_ret is not None:
+                    ctx.on_ret()
+            if used["brk"] and ctx.brk is not None:
+                self._edge(src, ctx.brk)
+                if ctx.on_brk is not None:
+                    ctx.on_brk()
+            if used["cont"] and ctx.cont is not None:
+                self._edge(src, ctx.cont)
+                if ctx.on_cont is not None:
+                    ctx.on_cont()
+        return out
+
+
+def build_cfg(func: ast.FunctionDef | ast.AsyncFunctionDef) -> CFG:
+    """Lower one function body to its control-flow graph."""
+    return _Builder(func).build()

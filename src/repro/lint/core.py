@@ -19,6 +19,8 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Iterable, Iterator
 
+from .cfg import CFG, build_cfg
+
 #: Inline suppression syntax, e.g. ``# repro-lint: disable=NUM01`` or
 #: ``# repro-lint: disable=DET01,DET03 -- reason``.
 _SUPPRESS_RE = re.compile(
@@ -126,6 +128,7 @@ class FileContext:
         self.project = project or ProjectContext()
         self.suppressions = Suppressions(self.lines)
         self._aliases = _import_aliases(self.tree)
+        self._cfgs: dict[ast.AST, CFG] = {}
         _link_parents(self.tree)
 
     # -- helpers rules build on ----------------------------------------
@@ -166,6 +169,24 @@ class FileContext:
     def walk(self) -> Iterator[ast.AST]:
         return ast.walk(self.tree)
 
+    def functions(self) -> Iterator[ast.FunctionDef | ast.AsyncFunctionDef]:
+        """Every function/method in the file (including nested ones)."""
+        for node in self.walk():
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                yield node
+
+    def cfg(self, func: ast.FunctionDef | ast.AsyncFunctionDef) -> CFG:
+        """Memoized control-flow graph of one function body.
+
+        Flow-aware rules opt in through this helper; the memo means a
+        file visited by all three flow families builds each CFG once.
+        """
+        cached = self._cfgs.get(func)
+        if cached is None:
+            cached = build_cfg(func)
+            self._cfgs[func] = cached
+        return cached
+
 
 def _import_aliases(tree: ast.AST) -> dict[str, str]:
     """Map local names to the canonical dotted module/object they bind.
@@ -196,33 +217,51 @@ def _link_parents(tree: ast.AST) -> None:
             child._repro_parent = parent  # type: ignore[attr-defined]
 
 
-def collect_error_classes(trees: Iterable[ast.AST]) -> set[str]:
-    """Transitive subclass closure of ``ReproError`` across a fileset.
+def class_edges(tree: ast.AST) -> list[tuple[str, list[str]]]:
+    """``(class name, base names)`` pairs for one parsed file.
+
+    The incremental cache persists these per file so a warm run can
+    rebuild the cross-file error closure without re-parsing anything.
+    """
+    edges: list[tuple[str, list[str]]] = []
+    for node in ast.walk(tree):
+        if isinstance(node, ast.ClassDef):
+            bases = []
+            for base in node.bases:
+                if isinstance(base, ast.Attribute):
+                    bases.append(base.attr)
+                elif isinstance(base, ast.Name):
+                    bases.append(base.id)
+            edges.append((node.name, bases))
+    return edges
+
+
+def closure_from_edges(
+        edges: Iterable[tuple[str, list[str]]]) -> set[str]:
+    """Transitive subclass closure of ``ReproError`` over class edges.
 
     Purely syntactic: a class is in the closure when any base name's last
     segment is already in the closure.  Iterates to a fixed point so
     grandchildren defined before their parents still resolve.
     """
-    edges: list[tuple[str, list[str]]] = []
-    for tree in trees:
-        for node in ast.walk(tree):
-            if isinstance(node, ast.ClassDef):
-                bases = []
-                for base in node.bases:
-                    if isinstance(base, ast.Attribute):
-                        bases.append(base.attr)
-                    elif isinstance(base, ast.Name):
-                        bases.append(base.id)
-                edges.append((node.name, bases))
+    edge_list = list(edges)
     closure = {"ReproError"}
     changed = True
     while changed:
         changed = False
-        for name, bases in edges:
+        for name, bases in edge_list:
             if name not in closure and any(b in closure for b in bases):
                 closure.add(name)
                 changed = True
     return closure
+
+
+def collect_error_classes(trees: Iterable[ast.AST]) -> set[str]:
+    """Transitive subclass closure of ``ReproError`` across a fileset."""
+    edges: list[tuple[str, list[str]]] = []
+    for tree in trees:
+        edges.extend(class_edges(tree))
+    return closure_from_edges(edges)
 
 
 class Baseline:

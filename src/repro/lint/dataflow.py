@@ -1,0 +1,249 @@
+"""Forward intraprocedural dataflow over :mod:`repro.lint.cfg` graphs.
+
+Two layers:
+
+- :func:`run_forward` — a generic worklist engine.  States are
+  frozensets (the join is set union, i.e. *may* analysis); the client
+  supplies a transfer function returning the normal-flow out-state and
+  the exception-flow out-state separately, because a statement that
+  raises mid-way generally has not finished its effect (an ``x =
+  SharedMemory(...)`` that raises acquired nothing; a ``close()`` that
+  raises released nothing).
+- Concrete analyses the rule families share:
+  :func:`reaching_definitions` (which binding sites reach each use —
+  the CON pickle-safety rule resolves "is this variable a threading
+  primitive" through it) and :class:`ResourceFlow` (a gen/kill
+  resource-state lattice over acquire/release/escape events — the LIF
+  lifecycle and CON lock-pairing rules instantiate it with different
+  event vocabularies).
+
+Everything here is purely syntactic and intraprocedural: one function
+body at a time, no heap model, locals tracked by name.  That is the
+deliberate altitude — the contracts these rules enforce (release on
+every path, lock held at the write) are local properties of one
+function in this codebase, and staying intraprocedural keeps the whole
+pass fast enough for pre-commit.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from typing import Callable, Iterator
+
+from .cfg import CFG, CFGNode
+
+__all__ = [
+    "run_forward",
+    "reaching_definitions",
+    "assigned_name",
+    "ResourceEvent",
+    "ResourceFlow",
+]
+
+#: a dataflow fact set; the engine joins them with union.
+State = frozenset
+
+#: transfer(node, in_state) -> (normal_out, exception_out)
+Transfer = Callable[[CFGNode, State], tuple[State, State]]
+
+_EMPTY: State = frozenset()
+
+
+def run_forward(cfg: CFG, transfer: Transfer,
+                init: State = _EMPTY) -> dict[int, State]:
+    """Iterate ``transfer`` to a fixed point; returns per-node in-states.
+
+    The state space must be finite for termination (it is: facts are
+    drawn from the function's own names and node indices).  Nodes never
+    reached from entry keep no state and are absent from the result.
+    """
+    in_states: dict[int, State] = {cfg.entry: init}
+    worklist = [cfg.entry]
+    while worklist:
+        idx = worklist.pop()
+        node = cfg.nodes[idx]
+        out, exc_out = transfer(node, in_states.get(idx, _EMPTY))
+        for succs, flowed in ((node.succs, out), (node.excs, exc_out)):
+            for succ in succs:
+                merged = in_states.get(succ, _EMPTY) | flowed
+                if merged != in_states.get(succ):
+                    in_states[succ] = merged
+                    worklist.append(succ)
+    return in_states
+
+
+# ----------------------------------------------------------------------
+# reaching definitions
+# ----------------------------------------------------------------------
+
+
+def assigned_name(stmt: ast.AST) -> str | None:
+    """The single plain name a statement binds, if any.
+
+    Covers ``x = ...``, ``x: T = ...`` and ``x += ...``; tuple targets,
+    attribute/subscript stores and multi-target assigns return None
+    (those are not local rebindings the flow rules reason about).
+    """
+    target: ast.AST | None = None
+    if isinstance(stmt, ast.Assign) and len(stmt.targets) == 1:
+        target = stmt.targets[0]
+    elif isinstance(stmt, (ast.AnnAssign, ast.AugAssign)):
+        target = stmt.target
+    if isinstance(target, ast.Name):
+        return target.id
+    return None
+
+
+def _target_names(target: ast.AST) -> Iterator[str]:
+    """Plain names a (possibly destructuring) assign target binds.
+
+    ``shm.buf[:n] = ...`` binds nothing — the receiver of an attribute
+    or subscript store is *used*, not rebound — so Attribute/Subscript
+    targets are skipped entirely rather than walked.
+    """
+    if isinstance(target, ast.Name):
+        yield target.id
+    elif isinstance(target, (ast.Tuple, ast.List)):
+        for elt in target.elts:
+            yield from _target_names(elt)
+    elif isinstance(target, ast.Starred):
+        yield from _target_names(target.value)
+
+
+def _bound_names(node: CFGNode) -> Iterator[str]:
+    """Names (re)bound when this CFG node executes normally."""
+    stmt = node.stmt
+    if stmt is None:
+        return
+    if node.label == "stmt":
+        name = assigned_name(stmt)
+        if name is not None:
+            yield name
+        elif isinstance(stmt, ast.Assign):
+            for target in stmt.targets:
+                yield from _target_names(target)
+        elif isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef,
+                               ast.ClassDef)):
+            # a nested def binds its name — the pickle-safety rule
+            # resolves "is this argument a local closure" through it
+            yield stmt.name
+    elif node.label == "loop" and isinstance(stmt, (ast.For,
+                                                    ast.AsyncFor)):
+        for sub in ast.walk(stmt.target):
+            if isinstance(sub, ast.Name):
+                yield sub.id
+    elif node.label == "with" and isinstance(stmt, (ast.With,
+                                                    ast.AsyncWith)):
+        for item in stmt.items:
+            if isinstance(item.optional_vars, ast.Name):
+                yield item.optional_vars.id
+    elif node.label == "handler" and isinstance(stmt, ast.ExceptHandler):
+        if stmt.name:
+            yield stmt.name
+
+
+def reaching_definitions(cfg: CFG) -> dict[int, State]:
+    """Per-node in-states of ``(name, defining_node_idx)`` facts."""
+
+    def transfer(node: CFGNode, state: State) -> tuple[State, State]:
+        bound = set(_bound_names(node))
+        if not bound:
+            return state, state
+        if node.label == "loop":
+            # a for-target is a *may* binding: the zero-iteration path
+            # leaves the pre-loop definition intact, so gen without kill
+            out = state | frozenset((name, node.idx) for name in bound)
+            return out, state
+        out = frozenset((name, site) for name, site in state
+                        if name not in bound)
+        out |= frozenset((name, node.idx) for name in bound)
+        # a statement that raises did not complete its binding
+        return out, state
+
+    return run_forward(cfg, transfer)
+
+
+# ----------------------------------------------------------------------
+# resource lattice
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ResourceEvent:
+    """What one CFG node does to tracked resources.
+
+    Attributes:
+        acquires: names bound to a fresh resource at this node.
+        releases: names whose resource this node releases.
+        escapes: names whose resource leaves local ownership here
+            (stored, passed, returned, aliased) — tracking stops.
+    """
+
+    acquires: tuple[str, ...] = ()
+    releases: tuple[str, ...] = ()
+    escapes: tuple[str, ...] = ()
+
+    @property
+    def empty(self) -> bool:
+        return not (self.acquires or self.releases or self.escapes)
+
+
+class ResourceFlow:
+    """May-be-open analysis over acquire/release/escape events.
+
+    Facts are ``(name, acquire_node_idx)`` pairs — "the resource bound
+    to ``name`` at node ``i`` may still be open here".  Clients supply
+    ``events(node)`` mapping each CFG node to a
+    :class:`ResourceEvent`; :meth:`leaks` then reports every acquire
+    whose resource may reach the function's exits still open, split by
+    exit kind so rules can say *which* paths leak (the exception-path
+    diagnosis is the one hand inspection misses).
+
+    Rebinding a tracked name implicitly drops the old resource, which
+    is treated as a release rather than a leak: the rules' job is
+    pairing, not alias-precise leak proofs.
+    """
+
+    def __init__(self, cfg: CFG,
+                 events: Callable[[CFGNode], ResourceEvent]) -> None:
+        self.cfg = cfg
+        self._events = {node.idx: events(node) for node in cfg.nodes}
+        self.in_states = run_forward(cfg, self._transfer)
+
+    def _transfer(self, node: CFGNode,
+                  state: State) -> tuple[State, State]:
+        event = self._events[node.idx]
+        rebound = set(_bound_names(node))
+        if event.empty and not rebound:
+            return state, state
+        dropped = (set(event.releases) | set(event.escapes) | rebound)
+        out = frozenset((name, site) for name, site in state
+                        if name not in dropped)
+        exc_out = out
+        out |= frozenset((name, node.idx) for name in event.acquires)
+        # exception mid-statement: the acquisition did not happen, but
+        # releases/escapes still count — a statement that *mentions*
+        # handing the resource off ends local responsibility even when
+        # it raises (blaming `self._board = board` for a hypothetical
+        # attribute-store failure would be pure noise)
+        return out, exc_out
+
+    def open_at(self, idx: int) -> State:
+        """Facts that may hold on entry to node ``idx``."""
+        return self.in_states.get(idx, _EMPTY)
+
+    def leaks(self) -> list[tuple[str, int, str]]:
+        """``(name, acquire_node_idx, exit_kind)`` leak reports.
+
+        ``exit_kind`` is ``"exception"`` when the resource only
+        escapes through ``raise_exit`` (released on every normal
+        path), else ``"return"``.
+        """
+        normal = self.open_at(self.cfg.exit)
+        raised = self.open_at(self.cfg.raise_exit)
+        reports: list[tuple[str, int, str]] = []
+        for name, site in sorted(normal | raised):
+            kind = "return" if (name, site) in normal else "exception"
+            reports.append((name, site, kind))
+        return reports

@@ -1,0 +1,173 @@
+"""AST shape helpers shared by the flow-aware rule families.
+
+The LIF/CON/ASY rules all need the same small vocabulary over
+statements: which plain names an expression *consumes in an escaping
+position* (ownership may leave the function), which calls are
+``x.close()``-style releases, and which calls construct a tracked
+resource.  Centralizing them keeps the per-rule event extractors to a
+page and the escape semantics identical across families.
+
+Escape semantics (deliberately ownership-shaped, not use-shaped): a
+name escapes when it is passed as a call argument, returned, yielded,
+raised, aliased or stored by an assignment, or embedded in a container
+display — but **not** when it is merely the receiver of an attribute
+access (``shm.buf``), the callee of a call, or an operand of a
+comparison/boolean test (``if shm is None``).  Receiver and test uses
+are how code *manages* a resource; argument/store uses are how code
+*hands it off*.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from .cfg import CFGNode, _walk_scope
+from .core import FileContext
+
+__all__ = [
+    "escaping_names",
+    "governing_exprs",
+    "node_escapes",
+    "release_calls",
+    "constructor_of",
+    "receiver_text",
+]
+
+
+def governing_exprs(node: CFGNode) -> list[ast.AST]:
+    """The expressions this CFG node actually evaluates.
+
+    Compound-statement header nodes carry the full AST statement —
+    body included — so event extractors must not walk ``node.stmt``
+    wholesale: a ``release()`` inside a loop body would wrongly credit
+    the loop *head*.  This returns just the governing expressions (an
+    ``if`` test, a loop iterable, the ``with`` context managers); for
+    plain-statement nodes it returns the statement itself.
+    """
+    stmt = node.stmt
+    if stmt is None:
+        return []
+    if node.label == "stmt":
+        return [stmt]
+    if node.label == "if" and isinstance(stmt, ast.If):
+        return [stmt.test]
+    if node.label == "loop":
+        if isinstance(stmt, (ast.For, ast.AsyncFor)):
+            return [stmt.iter]
+        if isinstance(stmt, ast.While):
+            return [stmt.test]
+    if node.label == "with" and isinstance(stmt, (ast.With,
+                                                  ast.AsyncWith)):
+        return [item.context_expr for item in stmt.items]
+    if node.label == "match" and isinstance(stmt, ast.Match):
+        return [stmt.subject]
+    if node.label == "handler" and isinstance(stmt, ast.ExceptHandler):
+        return [stmt.type] if stmt.type is not None else []
+    return []  # with-exit, dispatch, finally, loop-exit: no evaluation
+
+
+def _is_receiver(ctx: FileContext, name: ast.Name) -> bool:
+    parent = ctx.parent(name)
+    if isinstance(parent, ast.Attribute) and parent.value is name:
+        return True
+    if isinstance(parent, ast.Call) and parent.func is name:
+        return True
+    return False
+
+
+def _under_test(ctx: FileContext, name: ast.Name,
+                stop: ast.AST) -> bool:
+    """True when the name only feeds a comparison/boolean test."""
+    node: ast.AST | None = name
+    while node is not None and node is not stop:
+        parent = ctx.parent(node)
+        if isinstance(parent, (ast.Compare, ast.BoolOp)) or (
+                isinstance(parent, ast.UnaryOp)
+                and isinstance(parent.op, ast.Not)):
+            return True
+        if isinstance(parent, (ast.Call, ast.Tuple, ast.List, ast.Dict,
+                               ast.Set, ast.Return, ast.Yield)):
+            return False  # consumed before reaching any test
+        node = parent
+    return False
+
+
+def escaping_names(ctx: FileContext, expr: ast.AST) -> Iterator[str]:
+    """Plain names inside ``expr`` used in an escaping position."""
+    for sub in _walk_scope(expr):
+        if not isinstance(sub, ast.Name):
+            continue
+        if _is_receiver(ctx, sub) or _under_test(ctx, sub, expr):
+            continue
+        yield sub.id
+
+
+def node_escapes(ctx: FileContext, node: CFGNode) -> Iterator[str]:
+    """Names whose resource may leave local ownership at this node."""
+    stmt = node.stmt
+    if stmt is None:
+        return
+    if node.label == "stmt":
+        if isinstance(stmt, (ast.Assign, ast.AnnAssign, ast.AugAssign)):
+            if stmt.value is not None:
+                yield from escaping_names(ctx, stmt.value)
+        elif isinstance(stmt, ast.Return) and stmt.value is not None:
+            yield from escaping_names(ctx, stmt.value)
+        elif isinstance(stmt, ast.Raise):
+            if stmt.exc is not None:
+                yield from escaping_names(ctx, stmt.exc)
+        elif isinstance(stmt, ast.Expr):
+            # arguments of calls escape; the receiver does not
+            yield from escaping_names(ctx, stmt.value)
+        elif isinstance(stmt, (ast.Delete, ast.Assert, ast.Pass,
+                               ast.Global, ast.Nonlocal, ast.Import,
+                               ast.ImportFrom)):
+            return
+    elif node.label == "with" and isinstance(stmt, (ast.With,
+                                                    ast.AsyncWith)):
+        for item in stmt.items:
+            yield from escaping_names(ctx, item.context_expr)
+    elif node.label == "loop" and isinstance(stmt, (ast.For,
+                                                    ast.AsyncFor)):
+        yield from escaping_names(ctx, stmt.iter)
+
+
+def release_calls(node: CFGNode | ast.AST,
+                  methods: frozenset[str]) -> Iterator[str]:
+    """Receiver names of ``<name>.<method>()`` calls this node runs.
+
+    Accepts a CFG node (walks only its governing expressions — see
+    :func:`governing_exprs`) or a bare AST (walks it wholesale).
+    """
+    roots = governing_exprs(node) if isinstance(node, CFGNode) \
+        else [node]
+    for root in roots:
+        for sub in _walk_scope(root):
+            if (isinstance(sub, ast.Call)
+                    and isinstance(sub.func, ast.Attribute)
+                    and sub.func.attr in methods
+                    and isinstance(sub.func.value, ast.Name)):
+                yield sub.func.value.id
+
+
+def constructor_of(ctx: FileContext, expr: ast.AST | None,
+                   classes: frozenset[str]) -> str | None:
+    """The matched class name when ``expr`` constructs one of them.
+
+    Matches on the last dotted segment so both
+    ``shared_memory.SharedMemory(...)`` and a ``from``-imported bare
+    ``SharedMemory(...)`` resolve.
+    """
+    if not isinstance(expr, ast.Call):
+        return None
+    dotted = ctx.dotted(expr.func)
+    if dotted is None:
+        return None
+    last = dotted.rsplit(".", 1)[-1]
+    return last if last in classes else None
+
+
+def receiver_text(node: ast.AST) -> str:
+    """Canonical text of a lock/receiver expression (``self._lock``)."""
+    return ast.unparse(node)

@@ -1,6 +1,6 @@
 """Rule modules; importing this package populates the registry.
 
-Families (see DESIGN.md §10 for the contracts behind them):
+Families (see DESIGN.md §10 and §15 for the contracts behind them):
 
 - ``DET`` — determinism: no hidden entropy, no unordered iteration, no
   ad-hoc clocks, no address-dependent ordering.
@@ -10,10 +10,22 @@ Families (see DESIGN.md §10 for the contracts behind them):
   subclasses, and every subclass survives pickling across the pool.
 - ``TEL`` — telemetry hygiene: spans open only via the context manager.
 - ``TYP`` — strict typing: public APIs are fully annotated.
+
+Flow-aware families (run the CFG/dataflow machinery of
+:mod:`repro.lint.cfg` / :mod:`repro.lint.dataflow`):
+
+- ``LIF`` — resource lifecycle: shm segments, arena refcounts and file
+  handles released on every path, including exception edges.
+- ``CON`` — concurrency discipline: locks paired on all paths, guarded
+  attributes written under their lock, pickle-safe pool shipments.
+- ``ASY`` — event-loop hygiene: no blocking calls or sync I/O on
+  coroutine paths under ``repro/serve/``.
 """
 
 from __future__ import annotations
 
-from . import determinism, numerics, taxonomy, telemetry, typing_api
+from . import (concurrency, determinism, eventloop, lifecycle, numerics,
+               taxonomy, telemetry, typing_api)
 
-__all__ = ["determinism", "numerics", "taxonomy", "telemetry", "typing_api"]
+__all__ = ["concurrency", "determinism", "eventloop", "lifecycle",
+           "numerics", "taxonomy", "telemetry", "typing_api"]

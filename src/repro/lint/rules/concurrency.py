@@ -1,0 +1,312 @@
+"""Concurrency-discipline rules (CON family).
+
+The serve daemon, the supervised executor and the arena registry are
+all lock-coordinated; the bugs that discipline prevents are *path*
+bugs (a lock leaked on an exception edge, a guarded attribute written
+on a path where the lock is provably not held) and *boundary* bugs
+(a thread lock or open handle pickled into a pool worker).  These
+rules run the shared CFG/dataflow machinery with a lock-shaped event
+vocabulary.
+
+Lock identification is heuristic but tuned to the codebase: a
+receiver whose canonical text mentions ``lock``/``cond``/``mutex``/
+``sem`` (the naming convention ``self._lock`` etc.), or a plain local
+whose reaching definition constructs a :mod:`threading` primitive.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, Iterator
+
+from ..cfg import CFGNode, _walk_scope
+from ..core import FileContext, Finding
+from ..dataflow import (ResourceEvent, ResourceFlow, assigned_name,
+                        reaching_definitions)
+from ..flowutil import governing_exprs, receiver_text
+from ..registry import Rule, register
+
+#: substrings marking a receiver as a synchronization primitive.
+_LOCKY = ("lock", "cond", "mutex", "sem")
+
+#: threading/multiprocessing constructors producing unpicklable or
+#: process-local state.
+_PRIMITIVE_CTORS = frozenset({
+    "Lock", "RLock", "Condition", "Semaphore", "BoundedSemaphore",
+    "Event", "Barrier", "Thread", "local",
+})
+
+#: pool/process dispatch methods whose arguments cross a pickle
+#: boundary.
+_SHIP_METHODS = frozenset({
+    "submit", "apply", "apply_async", "map", "map_async", "starmap",
+    "starmap_async", "imap", "imap_unordered",
+})
+
+
+def _lock_name(text: str) -> bool:
+    low = text.lower()
+    return any(tag in low for tag in _LOCKY)
+
+
+def _primitive_ctor(ctx: FileContext, expr: ast.AST | None) -> bool:
+    """Does ``expr`` construct a threading primitive or open a file?"""
+    if not isinstance(expr, ast.Call):
+        return False
+    dotted = ctx.dotted(expr.func)
+    if dotted is None:
+        return isinstance(expr.func, ast.Attribute) \
+            and expr.func.attr == "open"
+    last = dotted.rsplit(".", 1)[-1]
+    return last in _PRIMITIVE_CTORS or dotted == "open" \
+        or last == "SharedMemory"
+
+
+def _lock_calls(ctx: FileContext, node: CFGNode, method: str,
+                defs: dict[str, bool]) -> Iterator[str]:
+    """Receiver texts of ``<lock>.<method>()`` calls this node runs."""
+    for root in governing_exprs(node):
+        for sub in _walk_scope(root):
+            if not (isinstance(sub, ast.Call)
+                    and isinstance(sub.func, ast.Attribute)
+                    and sub.func.attr == method):
+                continue
+            recv = receiver_text(sub.func.value)
+            if _lock_name(recv) or defs.get(recv, False):
+                yield recv
+
+
+@register
+class LockReleaseOnAllPaths(Rule):
+    id = "CON01"
+    summary = "lock acquired but not released on every CFG path"
+    invariant = ("A bare `.acquire()` on a lock reaches the paired "
+                 "`.release()` on every path out of the function, "
+                 "including exception edges — a leaked lock deadlocks "
+                 "the next waiter silently.  `with lock:` encodes "
+                 "this for free and is the house style.")
+    fix = ("Use `with lock:` (or `try/finally: lock.release()`).")
+
+    def check(self, ctx: FileContext) -> Iterable[Finding]:
+        for func in ctx.functions():
+            if not any(isinstance(sub, ast.Call)
+                       and isinstance(sub.func, ast.Attribute)
+                       and sub.func.attr == "acquire"
+                       for sub in ast.walk(func)):
+                continue
+            yield from self._check_function(ctx, func)
+
+    def _check_function(self, ctx: FileContext,
+                        func: ast.AST) -> Iterable[Finding]:
+        cfg = ctx.cfg(func)
+        # locals bound to a primitive ctor count as locks even when
+        # their name does not match the `_lock` naming convention
+        local_is_lock: dict[str, bool] = {}
+        for node in cfg.statement_nodes():
+            stmt = node.stmt
+            name = assigned_name(stmt) if node.label == "stmt" else None
+            if name is not None and isinstance(
+                    stmt, (ast.Assign, ast.AnnAssign)):
+                if _primitive_ctor(ctx, stmt.value):
+                    local_is_lock[name] = True
+
+        def events(node: CFGNode) -> ResourceEvent:
+            stmt = node.stmt
+            if stmt is None or node.label in ("with", "with-exit"):
+                # `with lock:` is the sanctioned pattern — not tracked
+                return ResourceEvent()
+            acquires = tuple(_lock_calls(ctx, node, "acquire",
+                                         local_is_lock))
+            releases = tuple(_lock_calls(ctx, node, "release",
+                                         local_is_lock))
+            return ResourceEvent(acquires=acquires, releases=releases)
+
+        flow = ResourceFlow(cfg, events)
+        for name, site, kind in flow.leaks():
+            stmt = cfg.nodes[site].stmt
+            if stmt is None:
+                continue
+            where = ("an exception path" if kind == "exception"
+                     else "some control-flow path")
+            yield ctx.finding(
+                self.id, stmt,
+                f"lock {name!r} acquired here is not released on "
+                f"{where}; use `with {name}:` or a try/finally")
+
+
+@register
+class GuardedAttributeDiscipline(Rule):
+    id = "CON02"
+    summary = "lock-guarded attribute written without the lock held"
+    invariant = ("Within a class, an attribute that is ever written "
+                 "under `with self._lock:` (in a non-__init__ method) "
+                 "is part of that lock's guarded state; every other "
+                 "write to it must also hold one of its guarding "
+                 "locks on every path reaching the write.  __init__ "
+                 "runs before the object is shared and is exempt.")
+    fix = ("Wrap the write in `with self._lock:` (the same lock the "
+           "other writers use).")
+
+    def check(self, ctx: FileContext) -> Iterable[Finding]:
+        for cls in ctx.walk():
+            if isinstance(cls, ast.ClassDef):
+                yield from self._check_class(ctx, cls)
+
+    def _methods(self, cls: ast.ClassDef) -> Iterator[ast.AST]:
+        for stmt in cls.body:
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                yield stmt
+
+    def _self_attr_writes(self, func: ast.AST) -> Iterator[ast.Attribute]:
+        for sub in _walk_scope(func):
+            targets: list[ast.AST] = []
+            if isinstance(sub, ast.Assign):
+                targets = list(sub.targets)
+            elif isinstance(sub, (ast.AnnAssign, ast.AugAssign)):
+                targets = [sub.target]
+            for target in targets:
+                if (isinstance(target, ast.Attribute)
+                        and isinstance(target.value, ast.Name)
+                        and target.value.id == "self"):
+                    yield target
+
+    def _check_class(self, ctx: FileContext,
+                     cls: ast.ClassDef) -> Iterable[Finding]:
+        # pass 1: learn the guard map — attr name -> set of lock texts
+        guards: dict[str, set[str]] = {}
+        for func in self._methods(cls):
+            if func.name == "__init__":
+                continue
+            for write in self._self_attr_writes(func):
+                locks = self._held_lock_texts(ctx, write)
+                if locks:
+                    guards.setdefault(write.attr, set()).update(locks)
+        if not guards:
+            return
+        # pass 2: flag writes where no guarding lock is lexically held
+        for func in self._methods(cls):
+            if func.name == "__init__":
+                continue
+            for write in self._self_attr_writes(func):
+                want = guards.get(write.attr)
+                if not want:
+                    continue
+                held = self._held_lock_texts(ctx, write)
+                if held & want:
+                    continue
+                some = sorted(want)[0]
+                yield ctx.finding(
+                    self.id, write,
+                    f"'self.{write.attr}' is guarded by `{some}` "
+                    "elsewhere in this class but this write does not "
+                    "hold it; wrap the write in "
+                    f"`with {some}:`")
+
+    def _held_lock_texts(self, ctx: FileContext,
+                         node: ast.AST) -> set[str]:
+        """Lock receiver texts lexically held at ``node``."""
+        held: set[str] = set()
+        cur: ast.AST | None = node
+        while cur is not None:
+            if isinstance(cur, (ast.With, ast.AsyncWith)):
+                for item in cur.items:
+                    text = receiver_text(item.context_expr)
+                    if _lock_name(text):
+                        held.add(text)
+            if isinstance(cur, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                break
+            cur = ctx.parent(cur)
+        return held
+
+
+@register
+class PickleUnsafeShipment(Rule):
+    id = "CON03"
+    summary = "process-local object shipped across a pickle boundary"
+    invariant = ("Arguments to pool dispatch calls (`.submit`, "
+                 "`.map`, `.apply_async`, `multiprocessing.Process`) "
+                 "must survive pickling: no threading primitives, "
+                 "open file handles, raw SharedMemory handles, "
+                 "lambdas, or locally-defined functions.  The "
+                 "executor ships arena *names* and reattaches in the "
+                 "worker for exactly this reason.")
+    fix = ("Ship a picklable descriptor (name/path/spec) and "
+           "reconstruct the resource inside the worker; use a "
+           "module-level function as the target.")
+
+    def check(self, ctx: FileContext) -> Iterable[Finding]:
+        for func in ctx.functions():
+            if not any(self._ship_call(ctx, sub) is not None
+                       for sub in ast.walk(func)):
+                continue
+            yield from self._check_function(ctx, func)
+
+    def _ship_call(self, ctx: FileContext,
+                   node: ast.AST) -> list[ast.AST] | None:
+        """The shipped-argument expressions when ``node`` dispatches."""
+        if not isinstance(node, ast.Call):
+            return None
+        if isinstance(node.func, ast.Attribute) \
+                and node.func.attr in _SHIP_METHODS:
+            return list(node.args) + [kw.value for kw in node.keywords]
+        dotted = ctx.dotted(node.func)
+        if dotted is not None and dotted.rsplit(".", 1)[-1] == "Process":
+            return [kw.value for kw in node.keywords
+                    if kw.arg in ("target", "args", "kwargs")] \
+                + list(node.args)
+        return None
+
+    def _check_function(self, ctx: FileContext,
+                        func: ast.AST) -> Iterable[Finding]:
+        cfg = ctx.cfg(func)
+        reach = reaching_definitions(cfg)
+        # map each defining node -> is the bound value unpicklable
+        unsafe_site: dict[int, str] = {}
+        for node in cfg.statement_nodes():
+            stmt = node.stmt
+            if node.label != "stmt":
+                continue
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                unsafe_site[node.idx] = "a locally-defined function"
+            else:
+                name = assigned_name(stmt)
+                if name is None or not isinstance(
+                        stmt, (ast.Assign, ast.AnnAssign)):
+                    continue
+                if isinstance(stmt.value, ast.Lambda):
+                    unsafe_site[node.idx] = "a lambda"
+                elif _primitive_ctor(ctx, stmt.value):
+                    unsafe_site[node.idx] = \
+                        "a thread primitive or open handle"
+        # walk ship calls; resolve shipped Names through reaching defs
+        for node in cfg.statement_nodes():
+            stmt = node.stmt
+            state = reach.get(node.idx, frozenset())
+            for sub in _walk_scope(stmt):
+                shipped = self._ship_call(ctx, sub)
+                if shipped is None:
+                    continue
+                for arg in shipped:
+                    yield from self._flag_arg(ctx, arg, state,
+                                              unsafe_site)
+
+    def _flag_arg(self, ctx: FileContext, arg: ast.AST, state,
+                  unsafe_site: dict[int, str]) -> Iterable[Finding]:
+        if isinstance(arg, ast.Lambda):
+            yield ctx.finding(
+                self.id, arg,
+                "a lambda cannot be pickled into a pool worker; use "
+                "a module-level function")
+            return
+        for sub in _walk_scope(arg):
+            if not isinstance(sub, ast.Name):
+                continue
+            for name, site in state:
+                if name == sub.id and site in unsafe_site:
+                    yield ctx.finding(
+                        self.id, sub,
+                        f"{sub.id!r} is {unsafe_site[site]} and "
+                        "cannot cross the pickle boundary into a "
+                        "pool worker; ship a picklable descriptor "
+                        "instead")
+                    break

@@ -1,0 +1,203 @@
+"""Event-loop hygiene rules (ASY family).
+
+The serve daemon (:mod:`repro.serve.daemon`) is the project's only
+asyncio surface, and its latency contract is simple: nothing on a
+coroutine path may block the loop.  Blocking work (arena attach, cache
+key hashing, batch execution) hops to a thread via
+``asyncio.to_thread`` / ``loop.run_in_executor``; these rules make
+that convention checkable.
+
+Scoped to ``repro/serve/`` — asyncio elsewhere in the tree (tests,
+benchmarks) is free to block because nothing awaits latency there.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, Iterator
+
+from ..cfg import _walk_scope
+from ..core import FileContext, Finding
+from ..registry import Rule, register
+
+#: dotted names that block the calling thread outright.
+_BLOCKING_CALLS = frozenset({
+    "time.sleep",
+    "subprocess.run", "subprocess.call", "subprocess.check_output",
+    "subprocess.check_call", "subprocess.Popen",
+    "os.system", "os.waitpid",
+    "socket.create_connection",
+})
+
+#: attribute calls that do synchronous file I/O.
+_SYNC_IO_ATTRS = frozenset({
+    "read_text", "write_text", "read_bytes", "write_bytes", "open",
+})
+
+#: executor-ish receivers whose `.run(...)` is the blocking batch
+#: entry point.
+_EXECUTOR_TAGS = ("executor", "bridge", "batch")
+
+
+def _in_scope(ctx: FileContext) -> bool:
+    return ctx.relpath.startswith("repro/serve/") \
+        or "/repro/serve/" in ctx.relpath
+
+
+def _async_defs(ctx: FileContext) -> Iterator[ast.AsyncFunctionDef]:
+    for node in ctx.walk():
+        if isinstance(node, ast.AsyncFunctionDef):
+            yield node
+
+
+def _blocking_call(ctx: FileContext, node: ast.AST) -> str | None:
+    """A human-readable tag when ``node`` is a known blocking call."""
+    if not isinstance(node, ast.Call):
+        return None
+    dotted = ctx.dotted(node.func)
+    if dotted in _BLOCKING_CALLS:
+        return dotted
+    return None
+
+
+def _sync_io_call(ctx: FileContext, node: ast.AST) -> str | None:
+    if not isinstance(node, ast.Call):
+        return None
+    dotted = ctx.dotted(node.func)
+    if dotted == "open":
+        return "open()"
+    if isinstance(node.func, ast.Attribute) \
+            and node.func.attr in _SYNC_IO_ATTRS:
+        return f".{node.func.attr}()"
+    return None
+
+
+def _executor_run(node: ast.AST) -> bool:
+    return (isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr == "run"
+            and any(tag in ast.unparse(node.func.value).lower()
+                    for tag in _EXECUTOR_TAGS))
+
+
+@register
+class BlockingCallInCoroutine(Rule):
+    id = "ASY01"
+    summary = "blocking call on a coroutine path"
+    invariant = ("Under repro/serve/, `async def` bodies never call "
+                 "thread-blocking primitives (`time.sleep`, "
+                 "`subprocess.*`, `os.system`, sync socket connect) "
+                 "directly — every client sharing the daemon's event "
+                 "loop stalls for the duration.")
+    fix = ("Use `await asyncio.sleep(...)` or hop to a worker thread "
+           "with `await asyncio.to_thread(fn, ...)`.")
+
+    def check(self, ctx: FileContext) -> Iterable[Finding]:
+        if not _in_scope(ctx):
+            return
+        for func in _async_defs(ctx):
+            for sub in _walk_scope(func):
+                tag = _blocking_call(ctx, sub)
+                if tag is not None:
+                    yield ctx.finding(
+                        self.id, sub,
+                        f"`{tag}` blocks the event loop inside "
+                        f"`async def {func.name}`; await the async "
+                        "equivalent or wrap in asyncio.to_thread")
+
+
+@register
+class SyncFileIOInCoroutine(Rule):
+    id = "ASY02"
+    summary = "synchronous file I/O on a coroutine path"
+    invariant = ("Under repro/serve/, `async def` bodies do not read "
+                 "or write files synchronously (builtin `open`, "
+                 "`Path.read_text`/`write_bytes`/... ) — disk latency "
+                 "lands on every connected client.")
+    fix = ("Hop the I/O to a thread: "
+           "`await asyncio.to_thread(path.read_text)`.")
+
+    def check(self, ctx: FileContext) -> Iterable[Finding]:
+        if not _in_scope(ctx):
+            return
+        for func in _async_defs(ctx):
+            for sub in _walk_scope(func):
+                tag = _sync_io_call(ctx, sub)
+                if tag is not None:
+                    yield ctx.finding(
+                        self.id, sub,
+                        f"synchronous {tag} inside `async def "
+                        f"{func.name}` blocks the event loop; use "
+                        "asyncio.to_thread for file I/O")
+
+
+@register
+class BlockingHelperInCoroutine(Rule):
+    id = "ASY03"
+    summary = "sync helper that blocks, called from a coroutine"
+    invariant = ("A synchronous function in the same file that "
+                 "(transitively) performs blocking work — including "
+                 "the `BatchExecutor.run` batch entry point — is not "
+                 "called directly from an `async def`; it goes "
+                 "through asyncio.to_thread, which takes the function "
+                 "as a *reference*, not a call.")
+    fix = ("`await asyncio.to_thread(helper, ...)` instead of "
+           "`helper(...)`.")
+
+    def check(self, ctx: FileContext) -> Iterable[Finding]:
+        if not _in_scope(ctx):
+            return
+        # 1. which sync functions in this file block, transitively?
+        sync_funcs: dict[str, ast.FunctionDef] = {
+            f.name: f for f in ctx.functions()
+            if isinstance(f, ast.FunctionDef)
+        }
+        blocking: set[str] = set()
+        for name, func in sync_funcs.items():
+            for sub in _walk_scope(func):
+                if (_blocking_call(ctx, sub) or _sync_io_call(ctx, sub)
+                        or _executor_run(sub)):
+                    blocking.add(name)
+                    break
+        # transitive closure over same-file direct calls
+        changed = True
+        while changed:
+            changed = False
+            for name, func in sync_funcs.items():
+                if name in blocking:
+                    continue
+                for callee in self._direct_callees(func):
+                    if callee in blocking:
+                        blocking.add(name)
+                        changed = True
+                        break
+        if not blocking:
+            return
+        # 2. flag direct calls to them from async defs
+        for afunc in _async_defs(ctx):
+            for sub in _walk_scope(afunc):
+                callee = self._called_name(sub)
+                if callee in blocking:
+                    yield ctx.finding(
+                        self.id, sub,
+                        f"`{callee}` does blocking work (directly or "
+                        "transitively) and is called from `async def "
+                        f"{afunc.name}` without an executor hop; use "
+                        f"`await asyncio.to_thread({callee}, ...)`")
+
+    def _called_name(self, node: ast.AST) -> str | None:
+        if not isinstance(node, ast.Call):
+            return None
+        if isinstance(node.func, ast.Name):
+            return node.func.id
+        if (isinstance(node.func, ast.Attribute)
+                and isinstance(node.func.value, ast.Name)
+                and node.func.value.id == "self"):
+            return node.func.attr
+        return None
+
+    def _direct_callees(self, func: ast.AST) -> Iterator[str]:
+        for sub in _walk_scope(func):
+            name = self._called_name(sub)
+            if name is not None:
+                yield name

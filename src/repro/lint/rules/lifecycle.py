@@ -1,0 +1,211 @@
+"""Resource-lifecycle rules (LIF family).
+
+The zero-copy dispatch layer (PR 9) hands real OS resources around:
+``multiprocessing.shared_memory`` segments that outlive the process if
+never unlinked, arena stores that own those segments, and journal file
+handles.  Their contracts are *path* properties — "released on every
+path out of the function, including the exception paths" — which the
+per-file AST rules of PR 5 cannot see.  These rules run the
+:mod:`repro.lint.dataflow` resource lattice over each function's CFG
+(:mod:`repro.lint.cfg`) and diagnose the path that leaks.
+
+Ownership transfers are first-class: storing a handle on ``self`` or
+into a container, returning it, or passing it to another callable ends
+local responsibility (the store/registry it escaped into owns the
+teardown), so the long-lived ``JobJournal``/``ArtifactCache`` handle
+patterns stay clean without suppressions.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+
+from ..cfg import CFGNode
+from ..core import FileContext, Finding
+from ..dataflow import ResourceEvent, ResourceFlow, assigned_name
+from ..flowutil import (constructor_of, node_escapes, receiver_text,
+                        release_calls)
+from ..registry import Rule, register
+
+#: resource constructors whose result must be explicitly torn down.
+_SHM_CLASSES = frozenset({"SharedMemory", "ArenaStore", "CancelBoard"})
+
+#: methods that end a shm-style resource's lifetime.
+_SHM_RELEASES = frozenset({"close", "unlink", "drop"})
+
+#: methods that end a file handle's lifetime.
+_FILE_RELEASES = frozenset({"close"})
+
+
+def _with_bound_names(stmt: ast.AST) -> tuple[str, ...]:
+    names = []
+    if isinstance(stmt, (ast.With, ast.AsyncWith)):
+        for item in stmt.items:
+            if isinstance(item.optional_vars, ast.Name):
+                names.append(item.optional_vars.id)
+    return tuple(names)
+
+
+def _acquire_of(ctx: FileContext, node: CFGNode,
+                matcher) -> tuple[str, ...]:
+    """Names bound to a fresh tracked resource at this node."""
+    stmt = node.stmt
+    if stmt is None:
+        return ()
+    if node.label == "stmt" and isinstance(stmt, (ast.Assign,
+                                                  ast.AnnAssign)):
+        name = assigned_name(stmt)
+        if name is not None and matcher(ctx, stmt.value):
+            return (name,)
+    elif node.label == "with" and isinstance(stmt, (ast.With,
+                                                    ast.AsyncWith)):
+        # `with <acquire> as x:` is the sanctioned pattern — the bound
+        # name is tracked and the with-exit node releases it, so the
+        # analysis proves exactly why it is safe (incl. exceptions)
+        return tuple(
+            item.optional_vars.id for item in stmt.items
+            if isinstance(item.optional_vars, ast.Name)
+            and matcher(ctx, item.context_expr))
+    return ()
+
+
+class _LifecycleFlowRule(Rule):
+    """Shared CFG/lattice plumbing for the flow lifecycle rules."""
+
+    #: subclasses: does this expression acquire a tracked resource?
+    def _acquires(self, ctx: FileContext, expr: ast.AST | None) -> bool:
+        raise NotImplementedError
+
+    _release_methods: frozenset[str] = _SHM_RELEASES
+    _noun = "resource"
+
+    def check(self, ctx: FileContext) -> Iterable[Finding]:
+        for func in ctx.functions():
+            has_acquire = any(
+                self._acquires(ctx, sub)
+                for sub in ast.walk(func) if isinstance(sub, ast.Call))
+            if not has_acquire:
+                continue
+            yield from self._check_function(ctx, func)
+
+    def _check_function(self, ctx: FileContext,
+                        func: ast.AST) -> Iterable[Finding]:
+        cfg = ctx.cfg(func)
+        matcher = self._acquires
+
+        def events(node: CFGNode) -> ResourceEvent:
+            stmt = node.stmt
+            if stmt is None:
+                return ResourceEvent()
+            if node.label == "with-exit":
+                return ResourceEvent(
+                    releases=_with_bound_names(stmt))
+            acquires = _acquire_of(ctx, node, matcher)
+            if node.label == "with":
+                # the with-exit owns the release of `as` bindings; a
+                # bare `with f:` hands f to the exit protocol (escape)
+                return ResourceEvent(
+                    acquires=acquires,
+                    escapes=tuple(node_escapes(ctx, node)))
+            releases = tuple(release_calls(node, self._release_methods))
+            escapes = tuple(node_escapes(ctx, node))
+            return ResourceEvent(acquires=acquires, releases=releases,
+                                 escapes=escapes)
+
+        flow = ResourceFlow(cfg, events)
+        for name, site, kind in flow.leaks():
+            stmt = cfg.nodes[site].stmt
+            if stmt is None:
+                continue
+            where = ("an exception path" if kind == "exception"
+                     else "some control-flow path")
+            yield ctx.finding(
+                self.id, stmt,
+                f"{self._noun} bound to {name!r} may reach the end of "
+                f"the function unreleased on {where}; release it in a "
+                "try/finally or hold it in a `with` block")
+
+
+@register
+class ShmLifecycle(_LifecycleFlowRule):
+    id = "LIF01"
+    summary = "shared-memory resource not released on every CFG path"
+    invariant = ("Every SharedMemory segment, ArenaStore and "
+                 "CancelBoard acquired in a function is closed/"
+                 "unlinked (or ownership explicitly handed off) on "
+                 "every path out of it — including exception paths — "
+                 "so /dev/shm never accumulates orphaned segments "
+                 "(the chaos-soak leak gate's static twin).")
+    fix = ("Release in a try/finally, use a `with` block, or hand the "
+           "handle to an owning store/registry before anything can "
+           "raise.")
+
+    _release_methods = _SHM_RELEASES
+    _noun = "shared-memory resource"
+
+    def _acquires(self, ctx: FileContext, expr: ast.AST | None) -> bool:
+        return constructor_of(ctx, expr, _SHM_CLASSES) is not None
+
+
+@register
+class ArenaRefcountPairing(Rule):
+    id = "LIF02"
+    summary = "arena refcount acquire without a matching release"
+    invariant = ("ArenaRegistry references are a strict pairing "
+                 "protocol: every module that calls `<arenas>."
+                 "acquire(design)` also wires the release side (the "
+                 "JobQueue `on_terminal` hook calling `<arenas>."
+                 "release(design)`); an unpaired acquire pins the "
+                 "segment until daemon shutdown.")
+    fix = ("Release the reference on every terminal transition "
+           "(`on_terminal` hook) or drop the acquire.")
+
+    def check(self, ctx: FileContext) -> Iterable[Finding]:
+        acquires: list[ast.Call] = []
+        has_release = False
+        for node in ctx.walk():
+            if not (isinstance(node, ast.Call)
+                    and isinstance(node.func, ast.Attribute)):
+                continue
+            recv = receiver_text(node.func.value).lower()
+            if "arena" not in recv:
+                continue
+            if node.func.attr == "acquire":
+                acquires.append(node)
+            elif node.func.attr == "release":
+                has_release = True
+        if has_release:
+            return
+        for call in acquires:
+            yield ctx.finding(
+                self.id, call,
+                "arena reference acquired but this module never calls "
+                "the paired .release(); wire it through the queue's "
+                "on_terminal hook so the segment unlinks at refcount "
+                "zero")
+
+
+@register
+class FileHandleScope(_LifecycleFlowRule):
+    id = "LIF03"
+    summary = "file handle opened without with-scoping or close"
+    invariant = ("Local file handles (builtin open() or Path.open()) "
+                 "are `with`-scoped or provably closed on every CFG "
+                 "path; journal/trace appenders that store the handle "
+                 "on `self` transfer ownership to the object's own "
+                 "close().")
+    fix = ("Use `with open(...) as fh:`; for long-lived handles, "
+           "assign to an attribute whose owner exposes close().")
+
+    _release_methods = _FILE_RELEASES
+    _noun = "file handle"
+
+    def _acquires(self, ctx: FileContext, expr: ast.AST | None) -> bool:
+        if not isinstance(expr, ast.Call):
+            return False
+        dotted = ctx.dotted(expr.func)
+        if dotted == "open":
+            return True
+        return (isinstance(expr.func, ast.Attribute)
+                and expr.func.attr == "open")

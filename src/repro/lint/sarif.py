@@ -1,0 +1,86 @@
+"""SARIF v2.1.0 output for lint results.
+
+SARIF (Static Analysis Results Interchange Format) is what code-
+scanning UIs ingest — emitting it lets the CI upload lint findings as
+review annotations without a bespoke adapter.  Only the gate set
+(non-baselined findings) is exported: SARIF consumers treat every
+result as actionable, and the baseline's whole point is that its
+entries are not.
+
+The document is fully deterministic: rules sorted by id, results in
+the runner's ``(path, line, col, rule)`` order, no timestamps.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any
+
+from .registry import all_rules
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .runner import LintResult
+
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA = ("https://raw.githubusercontent.com/oasis-tcs/"
+                "sarif-spec/master/Schemata/sarif-schema-2.1.0.json")
+
+#: stable tool identity for `tool.driver`.
+TOOL_NAME = "repro-lint"
+
+
+def _rule_descriptor(rule: Any) -> dict[str, Any]:
+    return {
+        "id": rule.id,
+        "shortDescription": {"text": rule.summary},
+        "fullDescription": {"text": rule.invariant},
+        "help": {"text": rule.fix},
+        "defaultConfiguration": {"level": "error"},
+    }
+
+
+def to_sarif(result: "LintResult") -> dict[str, Any]:
+    """One-run SARIF log for ``result``'s gate set."""
+    rules = sorted(all_rules(), key=lambda r: r.id)
+    index = {rule.id: i for i, rule in enumerate(rules)}
+    results: list[dict[str, Any]] = []
+    for finding in result.fresh:
+        results.append({
+            "ruleId": finding.rule,
+            "ruleIndex": index.get(finding.rule, -1),
+            "level": "error",
+            "message": {"text": finding.message},
+            "locations": [{
+                "physicalLocation": {
+                    "artifactLocation": {"uri": finding.path},
+                    "region": {
+                        "startLine": finding.line,
+                        "startColumn": finding.col + 1,
+                    },
+                },
+            }],
+        })
+    for path, reason in result.errors:
+        results.append({
+            "ruleId": "E000",
+            "level": "error",
+            "message": {"text": f"analysis failed: {reason}"},
+            "locations": [{
+                "physicalLocation": {
+                    "artifactLocation": {"uri": path},
+                },
+            }],
+        })
+    return {
+        "$schema": SARIF_SCHEMA,
+        "version": SARIF_VERSION,
+        "runs": [{
+            "tool": {
+                "driver": {
+                    "name": TOOL_NAME,
+                    "rules": [_rule_descriptor(r) for r in rules],
+                },
+            },
+            "results": results,
+            "columnKind": "utf16CodeUnits",
+        }],
+    }

@@ -197,9 +197,16 @@ class ArenaStore:
             except OSError:
                 pass  # /dev/shm missing, full, or name exhausted
             else:
-                shm.buf[:len(blob)] = blob
-                with self._lock:
-                    self._segments[shm.name] = shm
+                try:
+                    shm.buf[:len(blob)] = blob
+                    with self._lock:
+                        self._segments[shm.name] = shm
+                except BaseException:
+                    # nothing owns the segment yet: unlink before the
+                    # exception propagates or /dev/shm keeps it forever
+                    shm.close()
+                    shm.unlink()
+                    raise
                 ref = ArenaRef(digest=arena.digest, segment=shm.name,
                                nbytes=len(blob), design=design,
                                creator_pid=os.getpid())

@@ -377,6 +377,7 @@ class JobQueue:
 
     def _register(self, job: PlacementJob, *, priority: int,
                   job_id: str | None, attempts: int = 0) -> QueuedJob:
+        # repro-lint: disable=CON02 -- every caller holds self._cond
         self._seq += 1
         if job_id is None:
             job_id = f"j{self._seq:06d}"

@@ -485,12 +485,16 @@ class TestRunnerAndCli:
         target = tmp_path / "repro" / "place" / "mod.py"
         target.parent.mkdir(parents=True)
         target.write_text("import random\nx = random.random()\n")
-        code = lint_main(["--json", "--no-baseline", str(target)])
+        code = lint_main(["--json", "--no-baseline", "--no-cache",
+                          str(target)])
         assert code == 1
         data = json.loads(capsys.readouterr().out)
-        assert data["version"] == 1
+        # schema v2: adds the cache hit/miss block and the jobs count
+        assert data["version"] == 2
         assert data["ok"] is False
         assert data["counts"] == {"DET01": 1}
+        assert data["cache"] == {"hits": 0, "misses": 1}
+        assert data["jobs"] == 1
         finding = data["findings"][0]
         assert set(finding) == {"rule", "path", "line", "col", "message",
                                 "line_text"}
@@ -562,3 +566,306 @@ class TestShippedTreeClean:
                         + "\nimport random\n_J = random.random()\n")
         result = lint_paths([copy])
         assert any(f.rule == "DET01" for f in result.fresh)
+
+
+class TestLifecycleRules:
+    def test_lif01_shm_leak_on_exception_path(self, tmp_path):
+        hits = rule_hits(tmp_path, """\
+            from multiprocessing import shared_memory
+
+            def export(blob: bytes):
+                shm = shared_memory.SharedMemory(
+                    name="x", create=True, size=len(blob))
+                shm.buf[:len(blob)] = blob
+                shm.close()
+                shm.unlink()
+            """, "LIF01")
+        assert len(hits) == 1
+        assert "exception path" in hits[0].message
+
+    def test_lif01_leak_on_early_return(self, tmp_path):
+        hits = rule_hits(tmp_path, """\
+            from multiprocessing import shared_memory
+
+            def export(flag):
+                shm = shared_memory.SharedMemory(name="x")
+                if flag:
+                    return None
+                shm.close()
+            """, "LIF01")
+        assert len(hits) == 1
+
+    def test_lif01_try_except_cleanup_is_clean(self, tmp_path):
+        src = """\
+            from multiprocessing import shared_memory
+
+            def export(blob: bytes):
+                shm = shared_memory.SharedMemory(
+                    name="x", create=True, size=len(blob))
+                try:
+                    shm.buf[:len(blob)] = blob
+                except BaseException:
+                    shm.close()
+                    shm.unlink()
+                    raise
+                shm.close()
+            """
+        assert not rule_hits(tmp_path, src, "LIF01")
+
+    def test_lif01_try_finally_is_clean(self, tmp_path):
+        src = """\
+            from multiprocessing import shared_memory
+
+            def export(blob: bytes):
+                shm = shared_memory.SharedMemory(name="x")
+                try:
+                    shm.buf[:4] = blob
+                finally:
+                    shm.close()
+            """
+        assert not rule_hits(tmp_path, src, "LIF01")
+
+    def test_lif01_ownership_handoff_is_clean(self, tmp_path):
+        src = """\
+            from multiprocessing import shared_memory
+
+            def export(store, blob: bytes):
+                shm = shared_memory.SharedMemory(name="x")
+                store.adopt(shm)
+                risky_work(blob)
+            """
+        assert not rule_hits(tmp_path, src, "LIF01")
+
+    def test_lif02_unpaired_arena_acquire(self, tmp_path):
+        hits = rule_hits(tmp_path, """\
+            def pin(arenas, design):
+                arenas.acquire(design)
+            """, "LIF02")
+        assert len(hits) == 1
+        assert "on_terminal" in hits[0].message
+
+    def test_lif02_paired_module_is_clean(self, tmp_path):
+        src = """\
+            def pin(arenas, design):
+                arenas.acquire(design)
+
+            def unpin(arenas, design):
+                arenas.release(design)
+            """
+        assert not rule_hits(tmp_path, src, "LIF02")
+
+    def test_lif03_unclosed_handle_on_exception(self, tmp_path):
+        hits = rule_hits(tmp_path, """\
+            def slurp(path):
+                fh = open(path)
+                data = fh.read()
+                fh.close()
+                return data
+            """, "LIF03")
+        assert len(hits) == 1
+
+    def test_lif03_with_scoped_is_clean(self, tmp_path):
+        src = """\
+            def slurp(path):
+                with open(path) as fh:
+                    return fh.read()
+            """
+        assert not rule_hits(tmp_path, src, "LIF03")
+
+    def test_lif03_self_attribute_store_is_clean(self, tmp_path):
+        # class-managed lifecycle: the owner's close() releases it
+        src = """\
+            class Journal:
+                def start(self, path):
+                    self._fh = path.open("a")
+            """
+        assert not rule_hits(tmp_path, src, "LIF03")
+
+
+class TestConcurrencyRules:
+    def test_con01_lock_leak_on_exception(self, tmp_path):
+        hits = rule_hits(tmp_path, """\
+            def update(lock, risky):
+                lock.acquire()
+                risky()
+                lock.release()
+            """, "CON01")
+        assert len(hits) == 1
+        assert "exception path" in hits[0].message
+
+    def test_con01_try_finally_is_clean(self, tmp_path):
+        src = """\
+            def update(lock, risky):
+                lock.acquire()
+                try:
+                    risky()
+                finally:
+                    lock.release()
+            """
+        assert not rule_hits(tmp_path, src, "CON01")
+
+    def test_con01_with_statement_is_clean(self, tmp_path):
+        src = """\
+            def update(lock, risky):
+                with lock:
+                    risky()
+            """
+        assert not rule_hits(tmp_path, src, "CON01")
+
+    def test_con01_local_primitive_without_locky_name(self, tmp_path):
+        hits = rule_hits(tmp_path, """\
+            import threading
+
+            def update(risky):
+                gate = threading.Lock()
+                gate.acquire()
+                risky()
+            """, "CON01")
+        assert len(hits) == 1
+
+    def test_con02_unguarded_write_flagged(self, tmp_path):
+        hits = rule_hits(tmp_path, """\
+            class Registry:
+                def add(self, item):
+                    with self._lock:
+                        self._items = self._items + [item]
+
+                def reset(self):
+                    self._items = []
+            """, "CON02")
+        assert len(hits) == 1
+        assert "self._lock" in hits[0].message
+
+    def test_con02_init_writes_exempt(self, tmp_path):
+        src = """\
+            class Registry:
+                def __init__(self):
+                    self._items = []
+
+                def add(self, item):
+                    with self._lock:
+                        self._items = self._items + [item]
+            """
+        assert not rule_hits(tmp_path, src, "CON02")
+
+    def test_con03_lambda_shipment(self, tmp_path):
+        hits = rule_hits(tmp_path, """\
+            def fan_out(pool):
+                pool.submit(lambda: 1)
+            """, "CON03")
+        assert len(hits) == 1
+
+    def test_con03_primitive_shipment(self, tmp_path):
+        hits = rule_hits(tmp_path, """\
+            import threading
+
+            def fan_out(pool, worker):
+                lk = threading.Lock()
+                pool.submit(worker, lk)
+            """, "CON03")
+        assert len(hits) == 1
+        assert "pickle" in hits[0].message
+
+    def test_con03_nested_function_shipment(self, tmp_path):
+        hits = rule_hits(tmp_path, """\
+            def fan_out(pool):
+                def inner(x):
+                    return x
+                pool.submit(inner, 3)
+            """, "CON03")
+        assert len(hits) == 1
+
+    def test_con03_picklable_descriptor_is_clean(self, tmp_path):
+        src = """\
+            def fan_out(pool, worker, job, spec):
+                pool.submit(worker, job, spec, "segment-name")
+            """
+        assert not rule_hits(tmp_path, src, "CON03")
+
+
+class TestEventLoopRules:
+    REL = "repro/serve/handlers.py"
+
+    def test_asy01_blocking_sleep_in_handler(self, tmp_path):
+        hits = rule_hits(tmp_path, """\
+            import time
+
+            async def handle(req):
+                time.sleep(0.5)
+            """, "ASY01", rel=self.REL)
+        assert len(hits) == 1
+        assert "asyncio" in hits[0].message
+
+    def test_asy01_outside_serve_is_clean(self, tmp_path):
+        src = """\
+            import time
+
+            async def handle(req):
+                time.sleep(0.5)
+            """
+        assert not rule_hits(tmp_path, src, "ASY01",
+                             rel="repro/place/mod.py")
+
+    def test_asy01_async_sleep_is_clean(self, tmp_path):
+        src = """\
+            import asyncio
+
+            async def handle(req):
+                await asyncio.sleep(0.5)
+            """
+        assert not rule_hits(tmp_path, src, "ASY01", rel=self.REL)
+
+    def test_asy02_sync_file_io_in_handler(self, tmp_path):
+        hits = rule_hits(tmp_path, """\
+            async def handle(path):
+                return path.read_text()
+            """, "ASY02", rel=self.REL)
+        assert len(hits) == 1
+
+    def test_asy02_to_thread_hop_is_clean(self, tmp_path):
+        src = """\
+            import asyncio
+
+            async def handle(path):
+                return await asyncio.to_thread(path.read_text)
+            """
+        assert not rule_hits(tmp_path, src, "ASY02", rel=self.REL)
+
+    def test_asy03_transitively_blocking_helper(self, tmp_path):
+        hits = rule_hits(tmp_path, """\
+            import time
+
+            def _retry():
+                _backoff()
+
+            def _backoff():
+                time.sleep(1.0)
+
+            async def handle(req):
+                _retry()
+            """, "ASY03", rel=self.REL)
+        assert len(hits) == 1
+        assert "_retry" in hits[0].message
+
+    def test_asy03_to_thread_reference_is_clean(self, tmp_path):
+        src = """\
+            import asyncio
+            import time
+
+            def _backoff():
+                time.sleep(1.0)
+
+            async def handle(req):
+                await asyncio.to_thread(_backoff)
+            """
+        assert not rule_hits(tmp_path, src, "ASY03", rel=self.REL)
+
+    def test_asy03_executor_run_entry_point(self, tmp_path):
+        hits = rule_hits(tmp_path, """\
+            def _run_batch(executor, jobs):
+                return executor.run(jobs)
+
+            async def handle(executor, jobs):
+                return _run_batch(executor, jobs)
+            """, "ASY03", rel=self.REL)
+        assert len(hits) == 1

@@ -1,0 +1,403 @@
+"""Tests for the flow-analysis layer under repro.lint — the CFG
+builder, the dataflow engine (reaching definitions + resource
+lattice), the incremental cache, parallel analysis, and SARIF output."""
+
+import ast
+import json
+import textwrap
+from pathlib import Path
+
+from repro.lint import lint_paths
+from repro.lint import main as lint_main
+from repro.lint.cfg import build_cfg, can_raise
+from repro.lint.dataflow import (ResourceEvent, ResourceFlow,
+                                 reaching_definitions)
+from repro.lint.sarif import to_sarif
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+
+
+def _cfg(source):
+    tree = ast.parse(textwrap.dedent(source))
+    func = tree.body[0]
+    assert isinstance(func, (ast.FunctionDef, ast.AsyncFunctionDef))
+    return build_cfg(func)
+
+
+def _flow(source, acquire_call, release_method):
+    """ResourceFlow tracking `x = acquire_call(...)` / `x.release()`."""
+    cfg = _cfg(source)
+
+    def events(node):
+        stmt = node.stmt
+        # compound headers carry the whole statement (body included):
+        # only plain-statement nodes run acquire/release calls here
+        if stmt is None or node.label != "stmt":
+            return ResourceEvent()
+        acquires = ()
+        if (node.label == "stmt" and isinstance(stmt, ast.Assign)
+                and isinstance(stmt.value, ast.Call)
+                and isinstance(stmt.value.func, ast.Name)
+                and stmt.value.func.id == acquire_call
+                and isinstance(stmt.targets[0], ast.Name)):
+            acquires = (stmt.targets[0].id,)
+        releases = tuple(
+            sub.func.value.id for sub in ast.walk(stmt)
+            if isinstance(sub, ast.Call)
+            and isinstance(sub.func, ast.Attribute)
+            and sub.func.attr == release_method
+            and isinstance(sub.func.value, ast.Name))
+        return ResourceEvent(acquires=acquires, releases=releases)
+
+    return ResourceFlow(cfg, events)
+
+
+class TestCfgShapes:
+    def test_straight_line(self):
+        cfg = _cfg("""\
+            def f(x):
+                a = x + 1
+                return a
+            """)
+        stmts = list(cfg.statement_nodes())
+        assert len(stmts) == 2
+        # the return reaches exit
+        assert cfg.exit in cfg.nodes[stmts[-1].idx].succs
+
+    def test_if_joins(self):
+        cfg = _cfg("""\
+            def f(x):
+                if x:
+                    a = 1
+                else:
+                    a = 2
+                return a
+            """)
+        labels = [n.label for n in cfg.statement_nodes()]
+        assert labels.count("if") == 1
+        ret = [n for n in cfg.statement_nodes()
+               if isinstance(n.stmt, ast.Return)][0]
+        preds = [n.idx for n in cfg.nodes if ret.idx in n.succs]
+        assert len(preds) == 2  # both branches join at the return
+
+    def test_loop_back_edge(self):
+        cfg = _cfg("""\
+            def f(xs):
+                for x in xs:
+                    use(x)
+                return None
+            """)
+        head = [n for n in cfg.statement_nodes()
+                if n.label == "loop"][0]
+        body = [n for n in cfg.statement_nodes()
+                if n.label == "stmt"
+                and isinstance(n.stmt, ast.Expr)][0]
+        assert head.idx in body.succs  # back edge
+
+    def test_break_exits_loop(self):
+        cfg = _cfg("""\
+            def f(xs):
+                while True:
+                    break
+                return None
+            """)
+        brk = [n for n in cfg.statement_nodes()
+               if isinstance(n.stmt, ast.Break)][0]
+        exits = [n for n in cfg.nodes if n.label == "loop-exit"]
+        assert exits and exits[0].idx in brk.succs
+
+    def test_raise_reaches_raise_exit(self):
+        cfg = _cfg("""\
+            def f():
+                raise ValueError("x")
+            """)
+        rse = [n for n in cfg.statement_nodes()
+               if isinstance(n.stmt, ast.Raise)][0]
+        assert cfg.raise_exit in rse.excs
+
+    def test_call_gets_exception_edge(self):
+        cfg = _cfg("""\
+            def f(x):
+                y = g(x)
+                return y
+            """)
+        call = [n for n in cfg.statement_nodes()
+                if isinstance(n.stmt, ast.Assign)][0]
+        assert cfg.raise_exit in call.excs
+
+    def test_constant_move_has_no_exception_edge(self):
+        cfg = _cfg("""\
+            def f():
+                x = None
+                return x
+            """)
+        move = [n for n in cfg.statement_nodes()
+                if isinstance(n.stmt, ast.Assign)][0]
+        assert not move.excs
+
+    def test_handler_intercepts_body_exception(self):
+        cfg = _cfg("""\
+            def f():
+                try:
+                    risky()
+                except ValueError:
+                    cleanup()
+                return None
+            """)
+        risky = [n for n in cfg.statement_nodes()
+                 if n.label == "stmt"
+                 and isinstance(n.stmt, ast.Expr)][0]
+        dispatch = [n for n in cfg.nodes if n.label == "dispatch"][0]
+        assert dispatch.idx in risky.excs
+        # a ValueError-only handler may not match: propagation edge
+        assert cfg.raise_exit in dispatch.succs
+
+    def test_catch_all_handler_stops_propagation(self):
+        cfg = _cfg("""\
+            def f():
+                try:
+                    risky()
+                except Exception:
+                    cleanup()
+                return None
+            """)
+        dispatch = [n for n in cfg.nodes if n.label == "dispatch"][0]
+        assert cfg.raise_exit not in dispatch.succs
+
+    def test_can_raise(self):
+        assert can_raise(ast.parse("f(x)").body[0])
+        assert can_raise(ast.parse("a.b").body[0])
+        assert not can_raise(ast.parse("x = None").body[0])
+
+
+class TestReachingDefinitions:
+    def _defs_at_return(self, source, name):
+        cfg = _cfg(source)
+        reach = reaching_definitions(cfg)
+        ret = [n for n in cfg.statement_nodes()
+               if isinstance(n.stmt, ast.Return)][0]
+        return {site for nm, site in reach[ret.idx] if nm == name}
+
+    def test_single_def(self):
+        sites = self._defs_at_return("""\
+            def f():
+                x = 1
+                return x
+            """, "x")
+        assert len(sites) == 1
+
+    def test_branch_merges_both_defs(self):
+        sites = self._defs_at_return("""\
+            def f(c):
+                if c:
+                    x = 1
+                else:
+                    x = 2
+                return x
+            """, "x")
+        assert len(sites) == 2
+
+    def test_rebind_kills_old_def(self):
+        sites = self._defs_at_return("""\
+            def f():
+                x = 1
+                x = 2
+                return x
+            """, "x")
+        assert len(sites) == 1
+
+    def test_loop_def_joins_with_preloop(self):
+        sites = self._defs_at_return("""\
+            def f(xs):
+                x = 0
+                for x in xs:
+                    pass
+                return x
+            """, "x")
+        assert len(sites) == 2  # init and loop target both reach
+
+    def test_subscript_store_is_not_a_binding(self):
+        sites = self._defs_at_return("""\
+            def f(buf):
+                x = 1
+                buf[x] = 2
+                return x
+            """, "x")
+        assert len(sites) == 1
+
+
+class TestResourceFlow:
+    def test_released_on_straight_line_is_clean(self):
+        flow = _flow("""\
+            def f():
+                r = acquire()
+                r.release()
+            """, "acquire", "release")
+        assert flow.leaks() == []
+
+    def test_exception_between_acquire_and_release(self):
+        flow = _flow("""\
+            def f():
+                r = acquire()
+                risky()
+                r.release()
+            """, "acquire", "release")
+        leaks = flow.leaks()
+        assert len(leaks) == 1
+        assert leaks[0][2] == "exception"
+
+    def test_early_return_leak(self):
+        flow = _flow("""\
+            def f(c):
+                r = acquire()
+                if c:
+                    return None
+                r.release()
+            """, "acquire", "release")
+        leaks = flow.leaks()
+        assert len(leaks) == 1
+        assert leaks[0][2] == "return"
+
+    def test_try_finally_releases_all_paths(self):
+        flow = _flow("""\
+            def f():
+                r = acquire()
+                try:
+                    risky()
+                finally:
+                    r.release()
+            """, "acquire", "release")
+        assert flow.leaks() == []
+
+    def test_loop_reacquire_is_tracked(self):
+        flow = _flow("""\
+            def f(xs):
+                for x in xs:
+                    r = acquire()
+                    r.release()
+            """, "acquire", "release")
+        assert flow.leaks() == []
+
+    def test_loop_leak_on_continue(self):
+        flow = _flow("""\
+            def f(xs):
+                for x in xs:
+                    r = acquire()
+                    if x:
+                        continue
+                    r.release()
+            """, "acquire", "release")
+        # the continue path carries an open r back to the loop head,
+        # where rebinding drops it — but the loop can exit right after
+        # the continue iteration, so the resource may reach the end
+        assert flow.leaks()
+
+
+class TestIncrementalCache:
+    def _tree(self, tmp_path):
+        pkg = tmp_path / "repro" / "place"
+        pkg.mkdir(parents=True)
+        (pkg / "one.py").write_text(
+            "import random\nx = random.random()\n")
+        (pkg / "two.py").write_text("y = 2\n")
+        return tmp_path / "repro"
+
+    def test_warm_run_is_all_hits_and_identical(self, tmp_path):
+        tree = self._tree(tmp_path)
+        cache = tmp_path / "cache.json"
+        cold = lint_paths([tree], cache_path=cache)
+        warm = lint_paths([tree], cache_path=cache)
+        assert cold.cache_misses == 2 and cold.cache_hits == 0
+        assert warm.cache_hits == 2 and warm.cache_misses == 0
+        assert [f.to_dict() for f in cold.findings] == \
+            [f.to_dict() for f in warm.findings]
+
+    def test_edit_invalidates_only_that_file(self, tmp_path):
+        tree = self._tree(tmp_path)
+        cache = tmp_path / "cache.json"
+        lint_paths([tree], cache_path=cache)
+        (tree / "place" / "two.py").write_text("y = 3\n")
+        touched = lint_paths([tree], cache_path=cache)
+        assert touched.cache_misses == 1
+        assert touched.cache_hits == 1
+
+    def test_new_error_class_invalidates_everything(self, tmp_path):
+        # the ReproError closure is a cross-file fact: adding a
+        # subclass anywhere must re-analyse every file
+        tree = self._tree(tmp_path)
+        cache = tmp_path / "cache.json"
+        lint_paths([tree], cache_path=cache)
+        (tree / "place" / "two.py").write_text(
+            "class NewError(ReproError):\n    pass\n")
+        touched = lint_paths([tree], cache_path=cache)
+        assert touched.cache_misses == 2
+        assert touched.cache_hits == 0
+
+    def test_select_change_does_not_reuse_stale_cache(self, tmp_path):
+        tree = self._tree(tmp_path)
+        cache = tmp_path / "cache.json"
+        full = lint_paths([tree], cache_path=cache)
+        assert any(f.rule == "DET01" for f in full.findings)
+        only_num = lint_paths([tree], cache_path=cache,
+                              select=["NUM01"])
+        assert not any(f.rule == "DET01" for f in only_num.findings)
+
+    def test_corrupt_cache_falls_back_to_cold(self, tmp_path):
+        tree = self._tree(tmp_path)
+        cache = tmp_path / "cache.json"
+        cache.write_text("{not json")
+        result = lint_paths([tree], cache_path=cache)
+        assert result.cache_misses == 2
+        assert any(f.rule == "DET01" for f in result.findings)
+
+    def test_parallel_matches_serial(self, tmp_path):
+        tree = self._tree(tmp_path)
+        serial = lint_paths([tree])
+        parallel = lint_paths([tree], jobs=2)
+        assert [f.to_dict() for f in serial.findings] == \
+            [f.to_dict() for f in parallel.findings]
+
+    def test_only_restricts_reporting_not_closure(self, tmp_path):
+        tree = self._tree(tmp_path)
+        one = (tree / "place" / "one.py").resolve()
+        result = lint_paths([tree], only={one})
+        assert result.files == 1
+        assert all(f.path.endswith("one.py") for f in result.findings)
+
+
+class TestSarifOutput:
+    def test_document_shape(self, tmp_path):
+        pkg = tmp_path / "repro" / "place"
+        pkg.mkdir(parents=True)
+        (pkg / "mod.py").write_text(
+            "import random\nx = random.random()\n")
+        result = lint_paths([tmp_path / "repro"])
+        doc = to_sarif(result)
+        assert doc["version"] == "2.1.0"
+        run = doc["runs"][0]
+        rules = run["tool"]["driver"]["rules"]
+        assert {"LIF01", "CON01", "ASY01"} <= {r["id"] for r in rules}
+        res = run["results"][0]
+        assert res["ruleId"] == "DET01"
+        loc = res["locations"][0]["physicalLocation"]
+        assert loc["artifactLocation"]["uri"].endswith("mod.py")
+        assert loc["region"]["startLine"] == 2
+        # ruleIndex points back into the catalog
+        assert rules[res["ruleIndex"]]["id"] == "DET01"
+
+    def test_cli_sarif_round_trips(self, tmp_path, capsys):
+        target = tmp_path / "repro" / "place" / "mod.py"
+        target.parent.mkdir(parents=True)
+        target.write_text("import random\nx = random.random()\n")
+        code = lint_main(["--format", "sarif", "--no-baseline",
+                          "--no-cache", str(target)])
+        assert code == 1
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["runs"][0]["results"]
+
+    def test_clean_tree_yields_empty_results(self, tmp_path):
+        pkg = tmp_path / "repro" / "place"
+        pkg.mkdir(parents=True)
+        (pkg / "mod.py").write_text("x = 1\n")
+        doc = to_sarif(lint_paths([tmp_path / "repro"]))
+        assert doc["runs"][0]["results"] == []
